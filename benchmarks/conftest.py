@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark runs one registered experiment (one per paper table/figure)
+exactly once per round — the experiments are deterministic simulations, so
+repeated timing rounds would only measure the host machine, not the model.
+
+Set ``REPRO_FULL=1`` to run the paper's full parameters (slow: the BFS
+table alone takes several minutes at scale 20).
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment under pytest-benchmark and echo its output."""
+
+    def _run(exp_id: str):
+        from repro.bench import run
+
+        result = benchmark.pedantic(
+            lambda: run(exp_id, quick=not full_mode()), rounds=1, iterations=1
+        )
+        print()
+        print(result.rendered)
+        for name, measured, paper, unit in result.comparisons:
+            if paper:
+                dev = (measured - paper) / paper * 100
+                print(f"  {name}: {measured:.4g} vs paper {paper:.4g} {unit} ({dev:+.1f}%)")
+        return result
+
+    return _run

@@ -1,0 +1,10 @@
+"""Fig 10 — LogP host overhead from bandwidth-test run times.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig10.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig10(run_experiment):
+    result = run_experiment("fig10")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Fig 11 — HSG strong-scaling speedups incl. the super-linear L=512.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig11.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig11(run_experiment):
+    result = run_experiment("fig11")
+    assert result.comparisons or result.rendered

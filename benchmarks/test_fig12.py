@@ -1,0 +1,10 @@
+"""Fig 12 — BFS execution-time breakdown at NP=4.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig12.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig12(run_experiment):
+    result = run_experiment("fig12")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Fig 3 — PCIe bus-analyzer timings of a GPU-buffer transmission.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig3.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig3(run_experiment):
+    result = run_experiment("fig3")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Fig 4 — GPU read bandwidth vs message size and prefetch window (flushed TX).
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig4.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig4(run_experiment):
+    result = run_experiment("fig4")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Fig 5 — G-G loop-back bandwidth (Nios II shared between TX and RX).
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig5.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig5(run_experiment):
+    result = run_experiment("fig5")
+    assert result.comparisons or result.rendered

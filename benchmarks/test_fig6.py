@@ -1,0 +1,10 @@
+"""Fig 6 — Two-node uni-directional bandwidth, four buffer combinations.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig6.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig6(run_experiment):
+    result = run_experiment("fig6")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Fig 7 — G-G bandwidth: P2P vs staging vs MVAPICH2/InfiniBand.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig7.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig7(run_experiment):
+    result = run_experiment("fig7")
+    assert result.comparisons or result.rendered

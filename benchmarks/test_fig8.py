@@ -1,0 +1,10 @@
+"""Fig 8 — APEnet+ half-RTT latency, four buffer combinations.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig8.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig8(run_experiment):
+    result = run_experiment("fig8")
+    assert result.comparisons or result.rendered

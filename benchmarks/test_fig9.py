@@ -1,0 +1,10 @@
+"""Fig 9 — G-G latency: P2P vs staging vs MVAPICH2/InfiniBand.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_fig9.py --benchmark-only -s to see the table.
+"""
+
+
+def test_fig9(run_experiment):
+    result = run_experiment("fig9")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Table I — APEnet+ low-level loop-back bandwidths.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_table1.py --benchmark-only -s to see the table.
+"""
+
+
+def test_table1(run_experiment):
+    result = run_experiment("table1")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Table II — HSG strong scaling at L=256 (ps per spin update).
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_table2.py --benchmark-only -s to see the table.
+"""
+
+
+def test_table2(run_experiment):
+    result = run_experiment("table2")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Table III — HSG two-node breakdown by P2P mode.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_table3.py --benchmark-only -s to see the table.
+"""
+
+
+def test_table3(run_experiment):
+    result = run_experiment("table3")
+    assert result.comparisons or result.rendered

@@ -1,0 +1,10 @@
+"""Table IV — BFS TEPS strong scaling, APEnet+ vs InfiniBand.
+
+Regenerates the paper artefact through the registered experiment; run with
+pytest benchmarks/test_table4.py --benchmark-only -s to see the table.
+"""
+
+
+def test_table4(run_experiment):
+    result = run_experiment("table4")
+    assert result.comparisons or result.rendered

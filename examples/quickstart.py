@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: GPU-to-GPU RDMA over the simulated APEnet+ torus.
+
+Builds a two-node cluster, registers a GPU buffer on the receiver, and
+PUTs real data straight from the sender's GPU memory — the paper's
+headline capability — then repeats the same transfer with host staging to
+show why peer-to-peer wins for small messages.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.apenet import BufferKind
+from repro.bench.microbench import pingpong_latency, staged_pingpong_latency
+from repro.net import TorusShape, build_apenet_cluster
+from repro.sim import Simulator
+from repro.units import fmt_bw, fmt_time, kib, us
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Build a 2x1 torus: each node = Westmere host + Fermi GPU + APEnet+
+    # ------------------------------------------------------------------
+    sim = Simulator()
+    cluster = build_apenet_cluster(sim, TorusShape(2, 1, 1))
+    sender, receiver = cluster.nodes
+
+    # ------------------------------------------------------------------
+    # 2. Allocate GPU buffers and fill the source with real data
+    # ------------------------------------------------------------------
+    nbytes = kib(64)
+    src = sender.gpu.alloc(nbytes)
+    dst = receiver.gpu.alloc(nbytes)
+    src.data[:] = np.arange(nbytes, dtype=np.uint8) % 251
+
+    # ------------------------------------------------------------------
+    # 3. Register the destination and PUT (GPU peer-to-peer, both ends)
+    # ------------------------------------------------------------------
+    timings = {}
+
+    def receiver_proc():
+        yield from receiver.endpoint.register(dst.addr, nbytes)
+        rec = yield from receiver.endpoint.wait_event()
+        timings["delivered"] = sim.now
+        print(f"[receiver] message #{rec.msg_id} arrived: {rec.nbytes} B "
+              f"from rank {rec.src_rank} at t={fmt_time(sim.now)}")
+
+    def sender_proc():
+        yield sim.timeout(us(10))  # let registration land
+        yield from sender.endpoint.register(src.addr, nbytes)
+        timings["start"] = sim.now
+        local_done = yield from sender.endpoint.put(
+            dst_rank=1,
+            local_addr=src.addr,
+            remote_addr=dst.addr,
+            nbytes=nbytes,
+            src_kind=BufferKind.GPU,  # the compile-time buffer-type flag
+        )
+        yield local_done
+        print(f"[sender]   local completion at t={fmt_time(sim.now)} "
+              f"(GPU memory fully read by the NIC)")
+
+    sim.process(receiver_proc())
+    sim.process(sender_proc())
+    sim.run()
+
+    elapsed = timings["delivered"] - timings["start"]
+    print(f"\n{nbytes} bytes GPU->GPU in {fmt_time(elapsed)} "
+          f"({fmt_bw(nbytes / elapsed)})")
+    assert np.array_equal(dst.data, src.data), "data corruption!"
+    print("payload verified byte-for-byte at the destination GPU\n")
+
+    # ------------------------------------------------------------------
+    # 4. Why peer-to-peer?  Small-message latency vs host staging
+    # ------------------------------------------------------------------
+    p2p = pingpong_latency(BufferKind.GPU, BufferKind.GPU, 32)
+    staged = staged_pingpong_latency(32)
+    print(f"G-G half-round-trip @32B:  P2P {p2p.usec:.1f} us   "
+          f"staging {staged.usec:.1f} us   "
+          f"(paper: 8.2 vs 16.8 us — '50% less latency')")
+
+
+if __name__ == "__main__":
+    main()

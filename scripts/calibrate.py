@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Calibration probe: print model vs paper for the headline numbers."""
+
+import time
+
+from repro.apenet import BufferKind, GpuTxVersion
+from repro.bench.microbench import (
+    loopback_read_bandwidth,
+    pingpong_latency,
+    sender_gap,
+    staged_pingpong_latency,
+    staged_unidirectional_bandwidth,
+    unidirectional_bandwidth,
+)
+from repro.units import KiB, MiB, kib, mib
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+
+def show(label, value, target, unit=""):
+    err = (value - target) / target * 100 if target else 0
+    print(f"{label:<44s} {value:9.2f} {unit:<5s} target {target:8.2f}  ({err:+5.1f}%)")
+
+
+t0 = time.time()
+
+# --- Table I: memory read bandwidths (flushed) ---
+r = loopback_read_bandwidth(H, mib(1), n_messages=8)
+show("host mem read (flush)", r.MBps, 2400, "MB/s")
+r = loopback_read_bandwidth(G, mib(1), n_messages=8)
+show("GPU mem read v3 (flush)", r.MBps, 1500, "MB/s")
+r = loopback_read_bandwidth(G, mib(1), n_messages=8, gpu_tx_version=GpuTxVersion.V1)
+show("GPU mem read v1 (flush)", r.MBps, 600, "MB/s")
+r = loopback_read_bandwidth(
+    G, mib(1), n_messages=8, gpu_tx_version=GpuTxVersion.V2, prefetch_window=32 * KiB
+)
+show("GPU mem read v2/32K (flush)", r.MBps, 1450, "MB/s")
+
+# --- Table I: loop-back ---
+r = unidirectional_bandwidth(H, H, mib(1), n_messages=8, loopback=True)
+show("H-H loopback", r.MBps, 1200, "MB/s")
+r = unidirectional_bandwidth(G, G, mib(1), n_messages=8, loopback=True)
+show("G-G loopback", r.MBps, 1100, "MB/s")
+
+# --- Fig 6: two-node plateaus ---
+r = unidirectional_bandwidth(H, H, mib(1), n_messages=8)
+show("two-node H-H @1M", r.MBps, 1200, "MB/s")
+r = unidirectional_bandwidth(G, G, mib(1), n_messages=8)
+show("two-node G-G @1M", r.MBps, 1050, "MB/s")
+r = unidirectional_bandwidth(H, H, kib(8), n_messages=48)
+show("two-node H-H @8K", r.MBps, 900, "MB/s")
+r = unidirectional_bandwidth(G, G, kib(8), n_messages=48)
+show("two-node G-G @8K", r.MBps, 450, "MB/s")
+
+# --- Fig 8/9: latencies ---
+r = pingpong_latency(H, H, 32)
+show("H-H latency @32B", r.usec, 6.3, "us")
+r = pingpong_latency(G, G, 32)
+show("G-G latency @32B (P2P)", r.usec, 8.2, "us")
+r = staged_pingpong_latency(32)
+show("G-G latency @32B (staging)", r.usec, 16.8, "us")
+
+# --- Fig 7: staging bandwidth + crossover ---
+r = staged_unidirectional_bandwidth(mib(1), n_messages=6)
+show("G-G staging bw @1M", r.MBps, 1150, "MB/s")
+r = staged_unidirectional_bandwidth(kib(16), n_messages=24)
+show("G-G staging bw @16K", r.MBps, 350, "MB/s")
+
+# --- Fig 10: host overheads @ small ---
+g = sender_gap(H, H, 128)
+show("sender gap H-H @128B", g / 1000, 5.0, "us")
+g = sender_gap(G, G, 128)
+show("sender gap G-G P2P @128B", g / 1000, 8.0, "us")
+g = sender_gap(G, G, 128, staged=True)
+show("sender gap G-G staged @128B", g / 1000, 17.0, "us")
+
+print(f"\nwall time: {time.time() - t0:.1f}s")

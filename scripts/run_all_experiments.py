@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Run every registered experiment and write a measured-results report.
+
+Usage:
+    python scripts/run_all_experiments.py [--full] [-o report.md]
+
+Quick mode takes a few minutes; ``--full`` runs the paper's exact
+parameters (the scale-20 BFS table dominates, ~10 minutes).  The output
+is the raw data behind EXPERIMENTS.md.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import all_ids, run
+from repro.bench.tables import fmt_ratio
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--full", action="store_true")
+    ap.add_argument("-o", "--output", default="experiments_measured.md")
+    args = ap.parse_args(argv)
+
+    lines = [
+        "# Measured experiment results",
+        "",
+        f"Mode: {'full (paper parameters)' if args.full else 'quick'}",
+        "",
+    ]
+    for exp_id in all_ids():
+        t0 = time.time()
+        result = run(exp_id, quick=not args.full)
+        dt = time.time() - t0
+        print(f"[{exp_id}] done in {dt:.1f}s")
+        lines += [f"## {exp_id} — {result.title}", "", "```", result.rendered, "```", ""]
+        if result.comparisons:
+            lines.append("| quantity | measured | paper | dev |")
+            lines.append("|---|---|---|---|")
+            for name, measured, paper, unit in result.comparisons:
+                paper_s = f"{paper:.4g} {unit}" if paper else "n.a."
+                lines.append(
+                    f"| {name} | {measured:.4g} {unit} | {paper_s} | "
+                    f"{fmt_ratio(measured, paper)} |"
+                )
+            lines.append("")
+    with open(args.output, "w") as fh:
+        fh.write("\n".join(lines))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The assembled APEnet+ card: DNP (NI + router + torus ports) on PCIe.
+
+Fabric windows:
+
+* ``regs`` — descriptor-queue writes from the kernel driver land here; the
+  write hook dispatches :class:`~repro.apenet.jobs.TxJob` objects to the
+  host or GPU TX engine;
+* ``gpu_data`` — reply target for the GPU P2P read protocol: the GPU's
+  pushed chunks land here and feed :class:`GpuTxEngine.on_response`.
+
+The card must be attached to a host PCIe fabric (it initiates descriptor
+reads, RX writes and mailbox writes) and wired into the torus by the
+cluster builder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..gpu.device import GPUDevice
+from ..net.topology import Coord, TorusShape
+from ..pcie.device import PCIeDevice, ReadBehavior, WriteBehavior
+from ..sim import Simulator
+from .buflist import BufList
+from .config import DEFAULT_CONFIG, ApenetConfig
+from .gpu_tx import GpuTxEngine
+from .jobs import TxJob
+from .nios import NiosII
+from .router import Router
+from .rx import RxEngine
+from .tx import HostTxEngine
+from .v2p import GpuV2PSet, HostV2P
+from .buflist import BufferKind
+
+__all__ = ["ApenetCard", "CARD_BASE_ADDRESS"]
+
+CARD_BASE_ADDRESS = 0x400_0000_0000
+_REGS_SIZE = 64 * 1024
+_GPU_DATA_SIZE = 2 * 1024 * 1024
+
+
+class ApenetCard(PCIeDevice):
+    """One APEnet+ board."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        coord: Coord,
+        shape: TorusShape,
+        config: ApenetConfig = DEFAULT_CONFIG,
+        base: int = CARD_BASE_ADDRESS,
+    ):
+        super().__init__(sim, name)
+        self.config = config
+        self.coord = coord
+        self.shape = shape
+        self.regs_window = self.add_window(base, _REGS_SIZE, "regs")
+        self.gpu_data_window = self.add_window(base + _REGS_SIZE, _GPU_DATA_SIZE, "gpu-data")
+
+        self.nios = NiosII(sim, f"{name}.nios")
+        self.buflist = BufList(f"{name}.buflist")
+        self.host_v2p = HostV2P(f"{name}.hv2p")
+        self.gpu_v2p = GpuV2PSet(f"{name}.gv2p")
+        self.gpus: list[GPUDevice] = []
+        # BAR1-TX extension: registered GPU buffers' BAR1 mappings,
+        # keyed by buffer base address (see config.gpu_tx_method).
+        self.bar1_tx_maps: dict[int, tuple] = {}
+        self.endpoint = None  # set by ApenetEndpoint
+
+        self.rx = RxEngine(sim, self)
+        self.router = Router(
+            sim, coord, shape, config, deliver_local=self.rx.admit, name=f"{name}.rtr"
+        )
+        self.host_tx = HostTxEngine(sim, self)
+        self.gpu_tx = GpuTxEngine(sim, self)
+
+        self._regs_write = WriteBehavior(on_write=self._on_regs_write)
+        self._gpu_data_write = WriteBehavior(on_write=self._on_gpu_data_write)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+
+    def register_gpu(self, gpu: GPUDevice) -> int:
+        """Tell the card about a GPU on this node; returns its index."""
+        self.gpus.append(gpu)
+        return len(self.gpus) - 1
+
+    @property
+    def rank(self) -> int:
+        """This card's linear rank in the torus."""
+        return self.shape.rank(self.coord)
+
+    # ------------------------------------------------------------------
+    # PCIe target behaviour
+    # ------------------------------------------------------------------
+
+    def describe_write(self, addr: int) -> WriteBehavior:
+        if self.regs_window.contains(addr):
+            return self._regs_write
+        if self.gpu_data_window.contains(addr):
+            return self._gpu_data_write
+        raise KeyError(f"{self.name}: write outside card windows: 0x{addr:x}")
+
+    def describe_read(self, addr: int) -> ReadBehavior:
+        raise PermissionError(f"{self.name}: card windows are write-only")
+
+    def _on_regs_write(self, addr: int, nbytes: int, payload: Any) -> None:
+        if payload is None:
+            return  # doorbell
+        if not isinstance(payload, TxJob):
+            raise TypeError(f"{self.name}: regs window expects TxJob, got {type(payload)!r}")
+        if payload.src_kind is BufferKind.GPU:
+            self.gpu_tx.enqueue(payload)
+        else:
+            self.host_tx.enqueue(payload)
+
+    def _on_gpu_data_write(self, addr: int, nbytes: int, payload: Any) -> None:
+        self.gpu_tx.on_response(nbytes, payload)

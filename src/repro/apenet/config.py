@@ -1,0 +1,158 @@
+"""Every calibrated constant of the APEnet+ card model, in one place.
+
+Each value is either taken directly from the paper (cited) or calibrated so
+that the *measured paper numbers* emerge from the simulation:
+
+=====================================  =======================================
+Paper measurement                      How it emerges here
+=====================================  =======================================
+Host memory read 2.4 GB/s (Tab I)      ``host_read_rate`` ceiling on the TX
+                                       DMA engine + windowed 512 B reads
+GPU mem read 1.5 GB/s Fermi (Tab I)    GPU spec ``p2p_read_rate`` (1536 MB/s)
+                                       through the prefetch pipeline
+GPU_P2P_TX v1 600 MB/s (§IV)           ``v1_chunk_nios_cost`` + single
+                                       outstanding 4 KB request round-trip
+RX ~3 µs / 4 KB packet (§IV)           ``rx_buflist_base + rx_v2p_cost +
+                                       rx_packet_overhead`` (+ linear
+                                       ``rx_buflist_per_entry`` scan term)
+H-H loop-back 1.2 GB/s (Tab I)         RX service time 3.4 µs per 4 KB on
+                                       the shared Nios II
+G-G loop-back 1.1 GB/s (Tab I)         + ``rx_gpu_window_switch`` per packet
+H-H latency 6.3 µs (Fig 8)             sum of the TX/link/RX pipeline stages
+G-G latency +1.9 µs (Fig 8/9)          GPU read head latency + TX engine
+                                       message startup (Fig 3's "3 µs")
+=====================================  =======================================
+
+The GPU_P2P_TX generations (§IV):
+
+* **v1** — software only, one outstanding ≤4 KB request, Nios II generates
+  every read request.
+* **v2** — hardware read-request generator (one per 80 ns), *bounded*
+  prefetch window (4–32 KB); Nios II still runs the flow control per chunk.
+* **v3** — unlimited prefetch bounded only by on-board FIFO credits
+  (almost-full feedback), negligible Nios II involvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..units import Gbps, KiB, MBps, ns, us
+
+__all__ = ["ApenetConfig", "DEFAULT_CONFIG", "GpuTxVersion"]
+
+
+class GpuTxVersion:
+    """Enumeration of GPU_P2P_TX engine generations."""
+
+    V1 = 1
+    V2 = 2
+    V3 = 3
+
+
+@dataclass(frozen=True)
+class ApenetConfig:
+    """Tunable parameters of one APEnet+ card."""
+
+    # ------------------------------------------------------------------
+    # PCIe interface ("PCIe X8 Gen2 link ... maximum data transfer rate of
+    # 4+4 GB/s", §III.B)
+    # ------------------------------------------------------------------
+    pcie_gen: int = 2
+    pcie_lanes: int = 8
+
+    # ------------------------------------------------------------------
+    # Torus links ("Link 28Gbps" in the micro-benchmark figures; the HSG
+    # runs used a 20 Gbps bitstream)
+    # ------------------------------------------------------------------
+    link_bandwidth: float = Gbps(28)
+    link_latency: float = ns(150)  # serdes + cable, per hop
+    router_latency: float = ns(60)  # switch forwarding decision
+    port_fifo_bytes: int = 16 * KiB  # per-port receive buffering (credits)
+
+    # ------------------------------------------------------------------
+    # TX: host-memory path (kernel-driver driven, §III.B/IV)
+    # ------------------------------------------------------------------
+    tx_fifo_bytes: int = 32 * KiB  # "32 KB transmission buffer"
+    host_read_rate: float = MBps(2400)  # Table I ceiling (DMA engine)
+    host_read_request: int = 512  # MRRS-sized descriptor reads
+    host_read_outstanding: int = 8
+    driver_fragment_cost: float = us(0.10)  # per-message kernel-driver work
+    driver_descriptor_cost: float = us(0.15)  # per-packet descriptor build
+    descriptor_write_bytes: int = 64  # posted write into the card's queue
+    tx_queue_slots: int = 64  # descriptor ring depth
+
+    # ------------------------------------------------------------------
+    # TX: GPU peer-to-peer path (GPU_P2P_TX, §IV)
+    # ------------------------------------------------------------------
+    gpu_tx_version: int = GpuTxVersion.V3
+    # EXTENSION (paper conclusions): "On Kepler, the BAR1 technique seems
+    # more promising ... it requires minimal changes at the hardware
+    # level."  "bar1" makes the TX engine read GPU memory with plain PCIe
+    # reads through a BAR1 mapping instead of the mailbox protocol.
+    gpu_tx_method: str = "p2p"  # "p2p" | "bar1"
+    bar1_read_request: int = 512  # MRRS-sized BAR1 reads
+    bar1_read_outstanding: int = 8
+    gpu_read_chunk: int = 4 * KiB  # one mailbox descriptor covers ≤4 KB
+    prefetch_window: int = 128 * KiB  # outstanding-bytes bound (v2: ≤32 KB)
+    v2_request_interval: float = ns(80)  # HW generator rate ("one every 80ns")
+    gpu_tx_msg_overhead: float = us(0.8)  # per-message engine startup (Fig 3)
+    # Protocol-state teardown between message descriptors: the engine
+    # re-arms the prefetch/flow-control state before the next message (the
+    # reason Fig 6's G-G curve rises much more slowly than H-H).
+    gpu_tx_msg_drain: float = us(6.0)
+    v1_chunk_nios_cost: float = us(1.6)  # software request generation
+    v2_chunk_nios_cost: float = us(0.6)  # flow-control bookkeeping per chunk
+    v3_chunk_nios_cost: float = us(0.05)  # HW flow control; Nios barely touched
+
+    # ------------------------------------------------------------------
+    # RX path (Nios II firmware, §IV): ~3 µs per 4 KB packet "equally
+    # dominated by the BUF_LIST traversal ... and the address translation"
+    # ------------------------------------------------------------------
+    rx_buflist_base: float = us(1.35)
+    rx_buflist_per_entry: float = ns(50)  # linear scan of registered buffers
+    rx_v2p_cost: float = us(1.40)  # constant 4-level walk
+    rx_packet_overhead: float = us(0.45)  # header parse, descriptor mgmt
+    rx_gpu_window_switch: float = us(0.50)  # P2P write-window move per packet
+    rx_event_post_cost: float = us(0.35)  # completion event to host
+    rx_fifo_bytes: int = 32 * KiB  # extraction-side buffering
+    # EXTENSION (§V.B future work): "We are currently working on adding
+    # more hardware blocks to accelerate the RX task."  When enabled, the
+    # BUF_LIST becomes a CAM and the V2P walk a hardware table: per-packet
+    # costs drop to the values below and stop scaling with registrations.
+    rx_hw_accel: bool = False
+    rx_hw_lookup_cost: float = us(0.25)  # CAM match, constant time
+    rx_hw_v2p_cost: float = us(0.20)  # hardware table walk
+    rx_hw_packet_overhead: float = us(0.25)
+
+    # ------------------------------------------------------------------
+    # Host API costs
+    # ------------------------------------------------------------------
+    put_post_cost: float = us(0.25)  # user->driver PUT submission
+    completion_poll_cost: float = us(0.10)  # event-queue poll round
+
+    # ------------------------------------------------------------------
+    # Test harness knobs
+    # ------------------------------------------------------------------
+    flush_tx: bool = False  # discard packets at injection (Fig 4 mode)
+
+    def with_(self, **kw) -> "ApenetConfig":
+        """A modified copy (keyword overrides)."""
+        return replace(self, **kw)
+
+    def gpu_chunk_nios_cost(self) -> float:
+        """Nios II time per GPU-read chunk for the configured TX engine."""
+        return {
+            GpuTxVersion.V1: self.v1_chunk_nios_cost,
+            GpuTxVersion.V2: self.v2_chunk_nios_cost,
+            GpuTxVersion.V3: self.v3_chunk_nios_cost,
+        }[self.gpu_tx_version]
+
+    def effective_window(self) -> int:
+        """Prefetch bound in bytes for the configured engine."""
+        if self.gpu_tx_version == GpuTxVersion.V1:
+            return self.gpu_read_chunk  # single outstanding request
+        return self.prefetch_window
+
+
+DEFAULT_CONFIG = ApenetConfig()

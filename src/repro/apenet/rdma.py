@@ -1,0 +1,278 @@
+"""The user-facing APEnet+ RDMA API.
+
+The programming model from §IV.A:
+
+* buffers — host or GPU, identified by UVA pointers — are *registered*
+  before use (BUF_LIST entry + host/GPU V2P mapping; GPU buffers are
+  "mapped on-the-fly if not already present in an internal cache");
+* :meth:`ApenetEndpoint.put` transmits a local buffer into a registered
+  remote buffer.  "The source memory buffer type is chosen at compilation
+  time by passing a flag to the PUT API.  This is useful to avoid a call to
+  cuPointerGetAttribute(), which is possibly expensive" — pass
+  ``src_kind`` to skip that charge, or leave it ``None`` to pay it;
+* remote delivery raises a completion event at the destination, consumed
+  with :meth:`wait_event` (event-queue polling).
+
+All host-time-charging methods are generators (``yield from``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+import numpy as np
+
+from ..cuda.runtime import CudaRuntime
+from ..net.packet import MessageInfo, next_message_id
+from ..net.topology import Coord
+from ..sim import Event, Store
+from ..units import us
+from .buflist import BufferKind, RegisteredBuffer
+from .card import ApenetCard
+from .driver import ApenetDriver
+from .jobs import TxJob
+from .rx import RxCompletion
+
+__all__ = ["ApenetEndpoint"]
+
+# Host-side registration costs (not on the critical path of any benchmark).
+_REGISTER_BASE_COST = us(2.0)
+_REGISTER_HOST_PAGE_COST = us(0.02)
+_REGISTER_GPU_PAGE_COST = us(0.20)  # P2P token retrieval + firmware install
+
+
+class ApenetEndpoint:
+    """Per-node handle onto the RDMA network."""
+
+    def __init__(self, card: ApenetCard, runtime: CudaRuntime):
+        self.sim = card.sim
+        self.card = card
+        self.runtime = runtime
+        card.endpoint = self
+        self.driver = ApenetDriver(self.sim, card, runtime.platform.host_memory)
+        self.events: Store = Store(self.sim, name=f"{card.name}.events")
+        # The event queue ring lives in host memory.
+        self._event_buf = runtime.host_alloc(4096)
+        self.event_addr = self._event_buf.addr
+        self.puts_posted = 0
+        self.gets_posted = 0
+        # GET extension: a firmware mailbox where remote GET requests land
+        # (installed at setup time, no simulated cost) plus per-request
+        # completion routing.
+        self._fw_mailbox = runtime.host_alloc(4096)
+        self._fw_scratch = runtime.host_alloc(64)
+        entry = RegisteredBuffer(self._fw_mailbox.addr, 4096, BufferKind.HOST)
+        self.card.buflist.register(entry)
+        self.card.host_v2p.map_range(self._fw_mailbox.addr, 4096)
+        self._get_waiting: dict[int, Event] = {}
+        self._peers: Optional[list["ApenetEndpoint"]] = None
+
+    @property
+    def rank(self) -> int:
+        """This endpoint's torus rank."""
+        return self.card.rank
+
+    @property
+    def coord(self) -> Coord:
+        """This endpoint's torus coordinate."""
+        return self.card.coord
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, addr: int, nbytes: int):
+        """Generator: pin + register a buffer for RDMA (host or GPU)."""
+        attrs = self.runtime.pointer_attributes(addr)
+        if attrs.is_device:
+            kind = BufferKind.GPU
+            gpu = self.runtime.device(attrs.device_index)
+            card_index = self._card_gpu_index(gpu)
+            buf = gpu.allocator.buffer_at(addr)
+            pages = self.card.gpu_v2p.table(card_index).map_buffer(buf)
+            cost = _REGISTER_BASE_COST + pages * _REGISTER_GPU_PAGE_COST
+            if (
+                self.card.config.gpu_tx_method == "bar1"
+                and buf.addr not in self.card.bar1_tx_maps
+            ):
+                # BAR1-TX extension: expose the buffer through the BAR1
+                # aperture — "an expensive operation, which requires a
+                # full reconfiguration of the GPU".
+                mapping = gpu.bar1.map(buf)
+                self.card.bar1_tx_maps[buf.addr] = (buf, mapping)
+                cost += gpu.spec.bar1_map_cost
+            entry = RegisteredBuffer(addr, nbytes, kind, gpu_index=card_index)
+        else:
+            kind = BufferKind.HOST
+            pages = self.card.host_v2p.map_range(addr, nbytes)
+            cost = _REGISTER_BASE_COST + pages * _REGISTER_HOST_PAGE_COST
+            entry = RegisteredBuffer(addr, nbytes, kind)
+        self.card.buflist.register(entry)
+        yield self.sim.timeout(cost)
+        return entry
+
+    def is_registered(self, addr: int) -> bool:
+        """True if *addr* falls inside a registered buffer."""
+        return self.card.buflist.find(addr) is not None
+
+    def _card_gpu_index(self, gpu) -> int:
+        for i, g in enumerate(self.card.gpus):
+            if g is gpu:
+                return i
+        raise ValueError(f"{gpu.name} is not attached to {self.card.name}")
+
+    # ------------------------------------------------------------------
+    # PUT
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        dst_rank: int,
+        local_addr: int,
+        remote_addr: int,
+        nbytes: int,
+        src_kind: Optional[BufferKind] = None,
+        tag: Any = None,
+    ):
+        """Generator: post one RDMA PUT; returns the local-completion Event.
+
+        ``src_kind`` is the compile-time buffer-type flag; omitting it costs
+        a ``cuPointerGetAttribute`` query (§IV.A).
+        """
+        cfg = self.card.config
+        yield self.sim.timeout(cfg.put_post_cost)
+        if src_kind is None:
+            attrs = yield from self.runtime.pointer_get_attributes(local_addr)
+            src_kind = BufferKind.GPU if attrs.is_device else BufferKind.HOST
+
+        gpu_index = 0
+        data = None
+        if src_kind is BufferKind.GPU:
+            attrs = self.runtime.pointer_attributes(local_addr)
+            gpu = self.runtime.device(attrs.device_index)
+            gpu_index = self._card_gpu_index(gpu)
+            # "the buffer mapping is automatically done, if necessary".
+            table = self.card.gpu_v2p.table(gpu_index)
+            if not table.is_mapped(local_addr):
+                yield from self.register(local_addr, nbytes)
+        else:
+            host_buf = self.runtime.host_buffer_at(local_addr)
+            if host_buf._data is not None:
+                off = local_addr - host_buf.addr
+                data = host_buf.data[off : off + nbytes]
+
+        msg = MessageInfo(
+            msg_id=next_message_id(),
+            total_bytes=nbytes,
+            src_rank=self.rank,
+            dst_rank=dst_rank,
+            dst_addr=remote_addr,
+            tag=tag,
+        )
+        job = TxJob(
+            message=msg,
+            src_addr=local_addr,
+            src_kind=src_kind,
+            dst_coord=self.card.shape.coord(dst_rank),
+            src_coord=self.coord,
+            local_done=Event(self.sim),
+            data=data,
+            gpu_index=gpu_index,
+        )
+        yield from self.driver.submit(job)
+        self.puts_posted += 1
+        return job.local_done
+
+    # ------------------------------------------------------------------
+    # GET (extension: the read half of the RDMA model)
+    # ------------------------------------------------------------------
+
+    _get_ids = itertools.count(1)
+
+    def link_peers(self, peers: list["ApenetEndpoint"]) -> None:
+        """Give this endpoint the cluster's endpoint table (enables GET)."""
+        self._peers = peers
+
+    def get(
+        self,
+        src_rank: int,
+        remote_addr: int,
+        local_addr: int,
+        nbytes: int,
+        tag: Any = None,
+    ):
+        """Generator: RDMA GET — fetch a registered remote region.
+
+        The APEnet+ RDMA model "has been extended with the ability to READ
+        and write the GPU private memory" (§III.B); the paper's benchmarks
+        only exercise PUT, so GET is implemented here as the natural dual:
+        a small request message to the target's firmware, answered with a
+        PUT of the requested region (host- or GPU-sourced according to the
+        target buffer's registered kind).  Returns the arrival record once
+        the data has landed in *local_addr* (which must be registered).
+        """
+        if self._peers is None:
+            raise RuntimeError("GET needs link_peers() (built clusters do this)")
+        get_id = next(self._get_ids)
+        arrival = Event(self.sim)
+        self._get_waiting[get_id] = arrival
+        target = self._peers[src_rank]
+        done = yield from self.put(
+            src_rank,
+            self._fw_scratch.addr,
+            target._fw_mailbox.addr,
+            64,
+            src_kind=BufferKind.HOST,
+            tag=("__get_req__", get_id, remote_addr, local_addr, nbytes, self.rank, tag),
+        )
+        self.gets_posted += 1
+        rec = yield arrival
+        return rec
+
+    def _serve_get(self, get_id, remote_addr, local_addr, nbytes, requester, user_tag):
+        """Firmware-side responder: PUT the requested region back."""
+        entry = self.card.buflist.find(remote_addr)
+        if entry is None:
+            return  # invalid GET: dropped like any unvalidated packet
+        yield from self.put(
+            requester,
+            remote_addr,
+            local_addr,
+            nbytes,
+            src_kind=entry.kind,
+            tag=("__get_data__", get_id, user_tag),
+        )
+
+    # ------------------------------------------------------------------
+    # Completion events
+    # ------------------------------------------------------------------
+
+    def wait_event(self):
+        """Generator: block until the next remote-completion event."""
+        yield self.sim.timeout(self.card.config.completion_poll_cost)
+        rec = yield self.events.get()
+        return rec
+
+    def poll_event(self) -> Optional[RxCompletion]:
+        """Non-blocking event-queue check (no simulated cost)."""
+        if len(self.events):
+            ev = self.events.get()
+            return ev.value
+        return None
+
+    def _deliver_remote(self, rec: RxCompletion) -> None:
+        tag = rec.tag
+        if isinstance(tag, tuple) and tag and tag[0] == "__get_req__":
+            _, get_id, remote_addr, local_addr, nbytes, requester, user_tag = tag
+            self.sim.process(
+                self._serve_get(get_id, remote_addr, local_addr, nbytes, requester, user_tag),
+                name=f"{self.card.name}.get",
+            )
+            return
+        if isinstance(tag, tuple) and tag and tag[0] == "__get_data__":
+            waiting = self._get_waiting.pop(tag[1], None)
+            if waiting is not None:
+                waiting.succeed(rec)
+                return
+        self.events.put(rec)

@@ -1,0 +1,10 @@
+"""The paper's evaluation applications, runnable on the simulated clusters.
+
+* :mod:`repro.apps.hsg` — Heisenberg Spin Glass over-relaxation (plus the
+  heatbath sampler and the 2-D decomposition extension);
+* :mod:`repro.apps.bfs` — graph500-style distributed level-synchronous BFS.
+
+Both compute their physics/graph results for real (NumPy) while every
+halo plane and frontier bucket travels through the simulated network, and
+both validate bit-for-bit against serial references.
+"""

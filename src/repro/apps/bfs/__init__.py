@@ -1,0 +1,33 @@
+"""Distributed level-synchronous BFS on GPU clusters (graph500-style)."""
+
+from .csr import CSRGraph
+from .distributed import (
+    BfsConfig,
+    BfsResult,
+    BfsSuiteResult,
+    RankBreakdown,
+    bfs_torus,
+    run_bfs,
+    run_bfs_suite,
+)
+from .perf import BfsKernelModel
+from .rmat import EDGEFACTOR, rmat_edges
+from .serial import UNVISITED, serial_bfs, traversed_edges, validate_bfs
+
+__all__ = [
+    "rmat_edges",
+    "EDGEFACTOR",
+    "CSRGraph",
+    "serial_bfs",
+    "validate_bfs",
+    "traversed_edges",
+    "UNVISITED",
+    "BfsKernelModel",
+    "BfsConfig",
+    "BfsResult",
+    "BfsSuiteResult",
+    "RankBreakdown",
+    "run_bfs",
+    "run_bfs_suite",
+    "bfs_torus",
+]

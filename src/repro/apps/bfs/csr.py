@@ -1,0 +1,107 @@
+"""Compressed-sparse-row graph storage (the GPU-friendly layout)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An undirected graph in CSR form (both edge directions stored)."""
+
+    def __init__(self, n_vertices: int, row_ptr: np.ndarray, col_idx: np.ndarray):
+        self.n_vertices = int(n_vertices)
+        self.row_ptr = row_ptr
+        self.col_idx = col_idx
+
+    @classmethod
+    def from_edges(
+        cls,
+        n_vertices: int,
+        edges: np.ndarray,
+        undirected: bool = True,
+        dedupe: bool = True,
+    ) -> "CSRGraph":
+        """Build from a (2, M) edge array.
+
+        Self-loops are dropped; duplicate edges are removed when *dedupe*;
+        for undirected graphs both directions are stored (graph500 rules).
+        """
+        src, dst = np.asarray(edges[0]), np.asarray(edges[1])
+        if src.min(initial=0) < 0 or max(src.max(initial=0), dst.max(initial=0)) >= n_vertices:
+            raise ValueError("edge endpoint out of range")
+        keep = src != dst  # no self-loops
+        src, dst = src[keep], dst[keep]
+        if undirected:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if dedupe and len(src):
+            key = src * n_vertices + dst
+            _, unique_idx = np.unique(key, return_index=True)
+            src, dst = src[unique_idx], dst[unique_idx]
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        row_ptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        counts = np.bincount(src, minlength=n_vertices)
+        row_ptr[1:] = np.cumsum(counts)
+        return cls(n_vertices, row_ptr, dst.astype(np.int64))
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Stored (directed) edge count."""
+        return len(self.col_idx)
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex *v*."""
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor ids of vertex *v*."""
+        return self.col_idx[self.row_ptr[v] : self.row_ptr[v + 1]]
+
+    def neighbors_of_set(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbors of *vertices* + matching parent ids.
+
+        Returns (neighbor_ids, parent_ids), the vectorized frontier
+        expansion a level-synchronous BFS performs.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.row_ptr[vertices]
+        ends = self.row_ptr[vertices + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        # Vectorized multi-range gather.
+        offsets = np.repeat(starts, lengths)
+        within = np.arange(total) - np.repeat(
+            np.concatenate([[0], np.cumsum(lengths)[:-1]]), lengths
+        )
+        neighbor_ids = self.col_idx[offsets + within]
+        parent_ids = np.repeat(vertices, lengths)
+        return neighbor_ids, parent_ids
+
+    def row_slice(self, lo: int, hi: int) -> "CSRGraph":
+        """A sub-CSR holding only rows [lo, hi) (columns stay global).
+
+        Row indices in the slice stay GLOBAL: callers pass global vertex
+        ids and the slice translates internally — matching how a 1-D
+        partitioned BFS addresses its local rows.
+        """
+        sub_ptr = self.row_ptr[lo : hi + 1] - self.row_ptr[lo]
+        sub_col = self.col_idx[self.row_ptr[lo] : self.row_ptr[hi]]
+        sliced = CSRGraph(hi - lo, sub_ptr, sub_col)
+        sliced._row_offset = lo  # type: ignore[attr-defined]
+        return sliced
+
+    def neighbors_of_set_global(self, vertices: np.ndarray):
+        """Like :meth:`neighbors_of_set` for a :meth:`row_slice` result."""
+        off = getattr(self, "_row_offset", 0)
+        local = np.asarray(vertices, dtype=np.int64) - off
+        nbrs, parents = self.neighbors_of_set(local)
+        return nbrs, parents + off

@@ -1,0 +1,93 @@
+"""Reference level-synchronous BFS + graph500-style validation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["serial_bfs", "validate_bfs", "traversed_edges"]
+
+UNVISITED = -1
+
+
+def serial_bfs(graph: CSRGraph, root: int) -> tuple[np.ndarray, np.ndarray]:
+    """Level-synchronous BFS; returns (levels, parents) int64 arrays.
+
+    Unreached vertices have level == parent == -1; the root is its own
+    parent (graph500 convention).
+    """
+    n = graph.n_vertices
+    levels = np.full(n, UNVISITED, dtype=np.int64)
+    parents = np.full(n, UNVISITED, dtype=np.int64)
+    levels[root] = 0
+    parents[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        nbrs, pars = graph.neighbors_of_set(frontier)
+        if len(nbrs) == 0:
+            break
+        # First-visit filter: keep one (neighbor, parent) pair per new vertex.
+        fresh_mask = levels[nbrs] == UNVISITED
+        nbrs, pars = nbrs[fresh_mask], pars[fresh_mask]
+        if len(nbrs) == 0:
+            break
+        uniq, first_idx = np.unique(nbrs, return_index=True)
+        levels[uniq] = level + 1
+        parents[uniq] = pars[first_idx]
+        frontier = uniq
+        level += 1
+    return levels, parents
+
+
+def traversed_edges(graph: CSRGraph, levels: np.ndarray) -> int:
+    """Graph500 edge count for TEPS: input (undirected) edges with at least
+    one endpoint in the traversed component."""
+    visited = levels >= 0
+    # Each stored directed edge (u, v): count if u visited; each undirected
+    # edge is stored twice, so halve.
+    u = np.repeat(np.arange(graph.n_vertices), np.diff(graph.row_ptr))
+    touched = visited[u] | visited[graph.col_idx]
+    return int(touched.sum() // 2)
+
+
+def validate_bfs(
+    graph: CSRGraph, root: int, levels: np.ndarray, parents: np.ndarray
+) -> list[str]:
+    """Graph500-style result validation; returns a list of violations.
+
+    Checks: (1) root is its own parent at level 0; (2) every visited
+    non-root vertex has a visited parent exactly one level shallower;
+    (3) the (parent, child) link is a real graph edge; (4) levels are
+    consistent with BFS optimality (no edge spans more than one level);
+    (5) unvisited vertices have no parent.
+    """
+    errors: list[str] = []
+    n = graph.n_vertices
+    if levels[root] != 0 or parents[root] != root:
+        errors.append("root must be its own parent at level 0")
+    visited = levels >= 0
+    if (visited != (parents >= 0)).any():
+        errors.append("visited/parent masks disagree")
+    others = np.flatnonzero(visited)
+    others = others[others != root]
+    if len(others):
+        p = parents[others]
+        if (levels[others] != levels[p] + 1).any():
+            errors.append("a parent is not exactly one level shallower")
+        # Tree edges must exist in the graph.
+        for v in others[: min(len(others), 50_000)]:
+            if v not in graph.neighbors(int(parents[v])):
+                errors.append(f"tree edge ({parents[v]}, {v}) not in graph")
+                break
+    # BFS optimality: no edge connects levels differing by more than 1.
+    u = np.repeat(np.arange(n), np.diff(graph.row_ptr))
+    v = graph.col_idx
+    both = visited[u] & visited[v]
+    if (np.abs(levels[u[both]] - levels[v[both]]) > 1).any():
+        errors.append("an edge spans more than one BFS level")
+    # Connectivity: any edge from a visited to an unvisited vertex is a bug.
+    if (visited[u] & ~visited[v]).any():
+        errors.append("unvisited vertex adjacent to the traversed component")
+    return errors

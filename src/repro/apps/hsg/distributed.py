@@ -1,0 +1,519 @@
+"""Distributed multi-GPU Heisenberg Spin Glass over-relaxation (§V.D).
+
+Faithful to the paper's structure: "the 3D domain is decomposed among the
+computing nodes along a single dimension, and the communication-computation
+overlap method is used: first compute the local lattice boundary, then
+exchange it with the remote nodes, while computing the bulk".
+
+Each rank owns an L × L × (L/NP) slab with one-plane halos.  Per
+checkerboard parity:
+
+1. boundary kernel (the two faces) on its own CUDA stream,
+2. bulk kernel on another stream (overlaps with everything below),
+3. the freshly-updated parity sites of each face are sent to the two ring
+   neighbours in 128 KiB messages (matching the paper's "6 outgoing and 6
+   incoming 128 KB messages" for L=256 on two nodes),
+4. wait for the neighbours' halos, then the bulk kernel, then next parity.
+
+Transports: APEnet+ RDMA with ``p2p_mode`` in {"on", "rx", "off"} (GPU
+peer-to-peer for both directions / RX only / staging both ways) or
+GPU-aware MPI over the InfiniBand cluster.
+
+``validate=True`` moves the *real* spin planes through the simulated
+network so the distributed result can be compared bit-for-bit against the
+serial :class:`~repro.apps.hsg.lattice.SpinLattice`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...apenet.buflist import BufferKind
+from ...apenet.config import DEFAULT_CONFIG, ApenetConfig
+from ...cuda.memcpy import memcpy_device_work, memcpy_sync
+from ...cuda.stream import CudaStream
+from ...gpu.kernels import KernelLaunch
+from ...gpu.specs import FERMI_2050, FERMI_2070
+from ...mpi.comm import MpiWorld
+from ...ib.cluster import build_ib_cluster
+from ...net.cluster import build_apenet_cluster
+from ...net.topology import TorusShape
+from ...sim import Event, Simulator
+from ...units import Gbps, KiB, us
+from .lattice import SpinLattice, overrelax_spins
+from .perf import SPIN_BYTES, HsgKernelModel
+
+__all__ = ["HsgConfig", "HsgResult", "run_hsg", "torus_for_ranks"]
+
+HALO_CHUNK = 128 * KiB
+
+
+def torus_for_ranks(np_: int) -> TorusShape:
+    """The sub-torus the paper's runs used for NP nodes of Cluster I."""
+    shapes = {1: (1, 1, 1), 2: (2, 1, 1), 4: (4, 1, 1), 8: (4, 2, 1)}
+    if np_ not in shapes:
+        raise ValueError(f"NP={np_} not in the paper's strong-scaling set")
+    return TorusShape(*shapes[np_])
+
+
+@dataclass
+class HsgConfig:
+    """One HSG run."""
+
+    L: int = 128
+    np_: int = 2
+    transport: str = "apenet"  # "apenet" | "mpi"
+    p2p_mode: str = "on"  # "on" | "rx" | "off" (apenet only)
+    sweeps: int = 3
+    validate: bool = False
+    seed: int = 7
+    # The HSG runs used the 20 Gbps link bitstream (Fig 11 caption).
+    link_bandwidth: float = Gbps(20)
+    mpi_pcie_lanes: int = 8  # Cluster II for the OMPI reference column
+    apenet_config: Optional[ApenetConfig] = None
+
+    def __post_init__(self):
+        if self.L % self.np_:
+            raise ValueError("L must be divisible by NP (slab decomposition)")
+        if self.transport not in ("apenet", "mpi"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.p2p_mode not in ("on", "rx", "off"):
+            raise ValueError(f"unknown p2p_mode {self.p2p_mode!r}")
+
+
+@dataclass
+class HsgResult:
+    """Measured outcome, normalized like the paper's tables (ps/spin)."""
+
+    config: "object"  # HsgConfig or Hsg2DConfig
+    ttot_ps: float
+    tbnd_tnet_ps: float
+    tnet_ps: float
+    total_time_ns: float
+    energy_before: Optional[float] = None
+    energy_after: Optional[float] = None
+    spins: Optional[np.ndarray] = None  # reassembled lattice (validate mode)
+
+    def speedup_vs(self, single: "HsgResult") -> float:
+        """Strong-scaling speedup relative to a single-node run."""
+        return single.ttot_ps / self.ttot_ps
+
+
+def _face_parity_mask(L: int, global_z: int) -> np.ndarray:
+    """(L, L) boolean masks of parity-0 sites on plane *global_z*."""
+    x, y = np.indices((L, L))
+    return (x + y + global_z) % 2 == 0
+
+
+class _RankState:
+    """Everything one rank needs during the run."""
+
+    def __init__(self, cfg: HsgConfig, rank: int, node, model: HsgKernelModel):
+        self.cfg = cfg
+        self.rank = rank
+        self.node = node
+        self.model = model
+        L, NP = cfg.L, cfg.np_
+        self.Lz = L // NP
+        self.local_sites = L * L * self.Lz
+        self.z0 = rank * self.Lz  # global z of the first owned plane
+        # Face message size: the updated-parity sites of one plane.  The
+        # CUDA code ships float3 spins (12 B/site — that is what makes the
+        # L=256 faces exactly 3 x 128 KiB); validate mode moves the full
+        # float64 state so the serial comparison stays bit-exact.
+        site_bytes = 24 if cfg.validate else SPIN_BYTES
+        self.face_bytes = L * L // 2 * site_bytes
+        self.n_chunks = math.ceil(self.face_bytes / HALO_CHUNK)
+        # Real data (validate mode): slab with halo planes at z=0, Lz+1.
+        self.slab: Optional[np.ndarray] = None
+        if cfg.validate:
+            self.slab = np.zeros((L, L, self.Lz + 2, 3))
+        # Instrumentation (ns).
+        self.t_net = 0.0
+        self.t_bnd = 0.0
+        # Streams.
+        self.s_bulk = CudaStream(node.runtime.sim, f"r{rank}.bulk")
+        self.s_bnd = CudaStream(node.runtime.sim, f"r{rank}.bnd")
+        self.s_copy = CudaStream(node.runtime.sim, f"r{rank}.copy")
+
+    # -- numerics (validate mode) ------------------------------------------
+
+    def interior_field(self) -> np.ndarray:
+        """Six-neighbour field of the owned slab (uses halo planes)."""
+        s = self.slab
+        h = np.roll(s, 1, axis=0) + np.roll(s, -1, axis=0)
+        h += np.roll(s, 1, axis=1) + np.roll(s, -1, axis=1)
+        h = h[:, :, 1:-1]
+        h = h + s[:, :, 0:-2] + s[:, :, 2:]
+        return h
+
+    def parity_mask_interior(self) -> np.ndarray:
+        """Checkerboard parity of each owned site (global coordinates)."""
+        L, Lz = self.cfg.L, self.Lz
+        x, y, z = np.indices((L, L, Lz))
+        return (x + y + z + self.z0) % 2
+
+    def update_parity(self, parity: int) -> None:
+        """Over-relax the owned sites of *parity* (uses current halos)."""
+        h = self.interior_field()
+        interior = self.slab[:, :, 1:-1]
+        updated = overrelax_spins(interior, h)
+        mask = self.parity_mask_interior() == parity
+        interior[mask] = updated[mask]
+
+    def pack_face(self, which: str, parity: int) -> np.ndarray:
+        """Bytes of the updated-parity sites of a boundary plane."""
+        zl = 1 if which == "down" else self.Lz
+        gz = self.z0 if which == "down" else self.z0 + self.Lz - 1
+        plane = self.slab[:, :, zl]
+        mask = _face_parity_mask(self.cfg.L, gz) if parity == 0 else ~_face_parity_mask(
+            self.cfg.L, gz
+        )
+        return plane[mask].astype(np.float64).tobytes()
+
+    def unpack_halo(self, which: str, parity: int, raw: np.ndarray) -> None:
+        """Install received parity sites into a halo plane."""
+        zl = 0 if which == "down" else self.Lz + 1
+        gz = self.z0 - 1 if which == "down" else self.z0 + self.Lz
+        mask = _face_parity_mask(self.cfg.L, gz % self.cfg.L) if parity == 0 else ~_face_parity_mask(
+            self.cfg.L, gz % self.cfg.L
+        )
+        vals = np.frombuffer(bytes(raw), dtype=np.float64).reshape(-1, 3)
+        plane = self.slab[:, :, zl]
+        plane[mask] = vals
+
+    # -- kernel durations ----------------------------------------------------
+
+    def refresh_local_halos(self) -> None:
+        """NP=1: periodic wrap without any network (validate mode)."""
+        self.slab[:, :, 0] = self.slab[:, :, self.Lz]
+        self.slab[:, :, self.Lz + 1] = self.slab[:, :, 1]
+
+    def boundary_sites(self) -> int:
+        """Owned face sites of one parity (two faces of L^2/2 each)."""
+        # Two faces, one parity each: 2 * L^2/2.
+        return self.cfg.L * self.cfg.L
+
+    def bulk_sites(self) -> int:
+        """Interior sites of one parity (the bulk kernel's work)."""
+        return self.local_sites // 2 - self.boundary_sites()
+
+
+def run_hsg(cfg: HsgConfig) -> HsgResult:
+    """Execute one configuration end to end; see :class:`HsgConfig`."""
+    sim = Simulator()
+    if cfg.transport == "apenet":
+        return _run_apenet(sim, cfg)
+    return _run_mpi(sim, cfg)
+
+
+# ---------------------------------------------------------------------------
+# Shared rank logic
+# ---------------------------------------------------------------------------
+
+
+def _init_validate(cfg: HsgConfig, states: list[_RankState]) -> SpinLattice:
+    """Seed a global lattice and scatter slabs (+ initial halos)."""
+    ref = SpinLattice((cfg.L, cfg.L, cfg.L), seed=cfg.seed)
+    for st in states:
+        z0, Lz, L = st.z0, st.Lz, cfg.L
+        st.slab[:, :, 1 : Lz + 1] = ref.spins[:, :, z0 : z0 + Lz]
+        st.slab[:, :, 0] = ref.spins[:, :, (z0 - 1) % L]
+        st.slab[:, :, Lz + 1] = ref.spins[:, :, (z0 + Lz) % L]
+    return ref
+
+
+def _gather_spins(cfg: HsgConfig, states: list[_RankState]) -> np.ndarray:
+    out = np.zeros((cfg.L, cfg.L, cfg.L, 3))
+    for st in states:
+        out[:, :, st.z0 : st.z0 + st.Lz] = st.slab[:, :, 1:-1]
+    return out
+
+
+def _kernels_for_parity(st: _RankState):
+    """(boundary kernel, bulk kernel) durations for one parity phase."""
+    bnd = st.model.boundary_kernel_ns(st.boundary_sites(), st.local_sites)
+    blk = st.model.bulk_kernel_ns(max(st.bulk_sites(), 1), st.local_sites)
+    return bnd, blk
+
+
+# ---------------------------------------------------------------------------
+# APEnet transport
+# ---------------------------------------------------------------------------
+
+
+def _run_apenet(sim: Simulator, cfg: HsgConfig) -> HsgResult:
+    shape = torus_for_ranks(cfg.np_)
+    base = cfg.apenet_config or DEFAULT_CONFIG
+    acfg = base.with_(link_bandwidth=cfg.link_bandwidth)
+    specs = None
+    if cfg.np_ == 1:
+        # Single-node L=512 only fits the 6 GB C2070 (§V.D).
+        need = 2 * cfg.L**3 * SPIN_BYTES
+        specs = [FERMI_2070 if need > FERMI_2050.vram else FERMI_2050]
+    cluster = build_apenet_cluster(sim, shape, acfg, gpu_specs=specs)
+    states = [
+        _RankState(cfg, r, cluster.nodes[r], HsgKernelModel(cluster.nodes[r].gpu.spec))
+        for r in range(cfg.np_)
+    ]
+    ref = _init_validate(cfg, states) if cfg.validate else None
+    energy_before = ref.energy() if ref is not None else None
+
+    # Per-rank device buffers: two outgoing face buffers, two halo landing
+    # buffers (GPU), plus host bounces for the staging modes.
+    send_gpu, recv_gpu, send_host, recv_host = {}, {}, {}, {}
+    for st in states:
+        node = st.node
+        fb = max(st.face_bytes, 64)
+        send_gpu[st.rank] = {d: node.gpu.alloc(fb) for d in ("down", "up")}
+        recv_gpu[st.rank] = {d: node.gpu.alloc(fb) for d in ("down", "up")}
+        send_host[st.rank] = {d: node.runtime.host_alloc(fb) for d in ("down", "up")}
+        recv_host[st.rank] = {d: node.runtime.host_alloc(fb) for d in ("down", "up")}
+
+    done_events = []
+    t_start = {}
+
+    def rank_proc(st: _RankState):
+        node = st.node
+        ep = node.endpoint
+        L, NP = cfg.L, cfg.np_
+        up = (st.rank + 1) % NP
+        down = (st.rank - 1) % NP
+        # Registration: halos land in GPU memory unless staging RX too.
+        for d in ("down", "up"):
+            if cfg.p2p_mode in ("on", "rx"):
+                yield from ep.register(recv_gpu[st.rank][d].addr, st.face_bytes)
+            else:
+                yield from ep.register(recv_host[st.rank][d].addr, st.face_bytes)
+            yield from ep.register(send_gpu[st.rank][d].addr, st.face_bytes)
+        yield sim.timeout(us(20))  # registration barrier stand-in
+        t_start[st.rank] = sim.now
+
+        for sweep in range(cfg.sweeps):
+            for parity in (0, 1):
+                if cfg.validate:
+                    st.update_parity(parity)
+                bnd_ns, blk_ns = _kernels_for_parity(st)
+                t0 = sim.now
+                bnd_ev = st.s_bnd.enqueue(
+                    lambda d=bnd_ns: node.gpu.compute.execute(KernelLaunch("bnd", d))
+                )
+                blk_ev = st.s_bulk.enqueue(
+                    lambda d=blk_ns: node.gpu.compute.execute(KernelLaunch("bulk", d))
+                )
+                yield bnd_ev
+                st.t_bnd += sim.now - t0
+                if NP > 1:
+                    t1 = sim.now
+                    yield from _apenet_exchange(
+                        sim, cfg, st, ep, up, down, parity, sweep,
+                        send_gpu, recv_gpu, send_host, recv_host,
+                    )
+                    st.t_net += sim.now - t1
+                elif cfg.validate:
+                    st.refresh_local_halos()
+                yield blk_ev
+        done = Event(sim)
+        done.succeed(sim.now)
+        done_events.append(sim.now)
+
+    procs = [sim.process(rank_proc(st), name=f"hsg.r{st.rank}") for st in states]
+    sim.run()
+    assert all(p.processed for p in procs), "HSG ranks deadlocked"
+    return _finalize(cfg, sim, states, t_start, ref, energy_before)
+
+
+def _apenet_exchange(
+    sim, cfg, st, ep, up, down, parity, sweep,
+    send_gpu, recv_gpu, send_host, recv_host,
+):
+    """One parity's halo exchange on the APEnet transport."""
+    node = st.node
+    L = cfg.L
+    expected = 2 * st.n_chunks  # messages arriving at this rank
+    sends = []
+    for d, peer in (("down", down), ("up", up)):
+        # In validate mode the outgoing face data is copied into the
+        # send buffer (kernel output); data rides the puts.
+        if cfg.validate:
+            raw = np.frombuffer(st.pack_face(d, parity), dtype=np.uint8)
+            send_gpu[st.rank][d].data[: len(raw)] = raw
+        remote_dir = "up" if d == "down" else "down"
+        if cfg.p2p_mode in ("on", "rx"):
+            dst_addr = recv_gpu[peer][remote_dir].addr
+        else:
+            dst_addr = recv_host[peer][remote_dir].addr
+        src_gpu = send_gpu[st.rank][d]
+        for c in range(st.n_chunks):
+            off = c * HALO_CHUNK
+            csize = min(HALO_CHUNK, st.face_bytes - off)
+            if cfg.p2p_mode == "on":
+                done = yield from ep.put(
+                    peer, src_gpu.addr + off, dst_addr + off, csize,
+                    src_kind=BufferKind.GPU, tag=("halo", sweep, parity, remote_dir, c),
+                )
+            else:
+                # TX staging: D2H copy of the chunk, then a host-source put.
+                # The RX-only mode pipelines the copies on a stream (the
+                # optimized variant that beats full P2P in Table III); the
+                # fully-staged mode uses plain synchronous cudaMemcpy, as
+                # the simple P2P=OFF code path does.
+                host = send_host[st.rank][d]
+                if cfg.p2p_mode == "rx":
+                    copy_ev = st.s_copy.enqueue(
+                        lambda dst=host.addr + off, src=src_gpu.addr + off, n=csize: (
+                            memcpy_device_work(node.runtime, dst, src, n)
+                        )
+                    )
+                    yield copy_ev
+                else:
+                    yield from memcpy_sync(
+                        node.runtime, host.addr + off, src_gpu.addr + off, csize
+                    )
+                done = yield from ep.put(
+                    peer, host.addr + off, dst_addr + off, csize,
+                    src_kind=BufferKind.HOST, tag=("halo", sweep, parity, remote_dir, c),
+                )
+            sends.append(done)
+    # Wait for all expected halo chunks.
+    for _ in range(expected):
+        rec = yield from ep.wait_event()
+    if cfg.p2p_mode == "off":
+        # Drain the host bounces into GPU memory.
+        for d in ("down", "up"):
+            ev = st.s_copy.enqueue(
+                lambda dst=recv_gpu[st.rank][d].addr, src=recv_host[st.rank][d].addr,
+                n=st.face_bytes: memcpy_device_work(node.runtime, dst, src, n)
+            )
+            yield ev
+    for ev in sends:
+        if not ev.processed:
+            yield ev
+    if cfg.validate:
+        for d in ("down", "up"):
+            if cfg.p2p_mode == "off":
+                raw = recv_host[st.rank][d].data[: st.face_bytes]
+            else:
+                raw = recv_gpu[st.rank][d].data[: st.face_bytes]
+            st.unpack_halo(d, parity, raw)
+
+
+# ---------------------------------------------------------------------------
+# MPI transport (OpenMPI / MVAPICH2 over IB — the reference columns)
+# ---------------------------------------------------------------------------
+
+
+def _run_mpi(sim: Simulator, cfg: HsgConfig) -> HsgResult:
+    from ...mpi.gpu_aware import OpenMPIProtocol
+
+    cluster = build_ib_cluster(sim, cfg.np_, pcie_lanes=cfg.mpi_pcie_lanes)
+    world = MpiWorld(cluster, protocol_factory=OpenMPIProtocol)
+    states = [
+        _RankState(cfg, r, cluster.nodes[r], HsgKernelModel(cluster.nodes[r].gpu.spec))
+        for r in range(cfg.np_)
+    ]
+    ref = _init_validate(cfg, states) if cfg.validate else None
+    energy_before = ref.energy() if ref is not None else None
+
+    bufs = {}
+    for st in states:
+        fb = max(st.face_bytes, 64)
+        bufs[st.rank] = {
+            ("send", d): st.node.gpu.alloc(fb) for d in ("down", "up")
+        }
+        bufs[st.rank].update(
+            {("recv", d): st.node.gpu.alloc(fb) for d in ("down", "up")}
+        )
+
+    t_start = {}
+
+    def rank_proc(st: _RankState):
+        ep = world.endpoint(st.rank)
+        NP = cfg.np_
+        up, down = (st.rank + 1) % NP, (st.rank - 1) % NP
+        yield sim.timeout(us(20))
+        t_start[st.rank] = sim.now
+        for sweep in range(cfg.sweeps):
+            for parity in (0, 1):
+                if cfg.validate:
+                    st.update_parity(parity)
+                bnd_ns, blk_ns = _kernels_for_parity(st)
+                t0 = sim.now
+                bnd_ev = st.s_bnd.enqueue(
+                    lambda d=bnd_ns: st.node.gpu.compute.execute(KernelLaunch("bnd", d))
+                )
+                blk_ev = st.s_bulk.enqueue(
+                    lambda d=blk_ns: st.node.gpu.compute.execute(KernelLaunch("bulk", d))
+                )
+                yield bnd_ev
+                st.t_bnd += sim.now - t0
+                if NP > 1:
+                    t1 = sim.now
+                    reqs = []
+                    for d, peer in (("down", down), ("up", up)):
+                        if cfg.validate:
+                            raw = np.frombuffer(st.pack_face(d, parity), dtype=np.uint8)
+                            bufs[st.rank][("send", d)].data[: len(raw)] = raw
+                        remote_dir = "up" if d == "down" else "down"
+                        r = yield from ep.irecv(
+                            peer,
+                            bufs[st.rank][("recv", d)].addr,
+                            st.face_bytes,
+                            tag=("halo", sweep, parity, d),
+                        )
+                        reqs.append(r)
+                        s = yield from ep.isend(
+                            peer,
+                            bufs[st.rank][("send", d)].addr,
+                            st.face_bytes,
+                            tag=("halo", sweep, parity, remote_dir),
+                        )
+                        reqs.append(s)
+                    yield from ep.wait_all(reqs)
+                    st.t_net += sim.now - t1
+                    if cfg.validate:
+                        for d in ("down", "up"):
+                            st.unpack_halo(
+                                d, parity, bufs[st.rank][("recv", d)].data[: st.face_bytes]
+                            )
+                elif cfg.validate:
+                    st.refresh_local_halos()
+                yield blk_ev
+
+    procs = [sim.process(rank_proc(st), name=f"hsg.r{st.rank}") for st in states]
+    sim.run()
+    assert all(p.processed for p in procs), "HSG MPI ranks deadlocked"
+    return _finalize(cfg, sim, states, t_start, ref, energy_before)
+
+
+# ---------------------------------------------------------------------------
+# Result assembly
+# ---------------------------------------------------------------------------
+
+
+def _finalize(cfg, sim, states, t_start, ref, energy_before) -> HsgResult:
+    sites = cfg.L**3
+    start = max(t_start.values())
+    total = sim.now - start
+    per_spin = 1000.0 / (cfg.sweeps * sites)  # ns -> ps per spin
+    tnet = np.mean([st.t_net for st in states]) * per_spin
+    tbnd_tnet = np.mean([st.t_bnd + st.t_net for st in states]) * per_spin
+    spins = None
+    energy_after = None
+    if cfg.validate:
+        spins = _gather_spins(cfg, states)
+        energy_after = SpinLattice((cfg.L,) * 3, spins=spins).energy()
+    return HsgResult(
+        config=cfg,
+        ttot_ps=total * per_spin,
+        tbnd_tnet_ps=float(tbnd_tnet),
+        tnet_ps=float(tnet),
+        total_time_ns=total,
+        energy_before=energy_before,
+        energy_after=energy_after,
+        spins=spins,
+    )

@@ -1,0 +1,360 @@
+"""Two-dimensional HSG domain decomposition (the paper's §V.D outlook).
+
+"This advantage could increase for a multi-dimensional domain-
+decomposition, where the size of the exchanged messages shrinks in the
+strong scaling, thanks to more regularly shaped 3D sub-domains."
+
+This module implements that suggestion: the lattice is split over a
+(Py × Pz) process grid along Y and Z, each rank owning an
+L × (L/Py) × (L/Pz) pencil with one-plane halos on its four faces.  The
+six-neighbour stencil needs face halos only (no corners), so per parity a
+rank exchanges four parity-packed faces with its four grid neighbours —
+less total data and smaller messages than the 1-D slab at the same NP.
+
+``validate=True`` again pushes the real spin planes through the simulated
+network and compares bit-for-bit with the serial lattice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...apenet.buflist import BufferKind
+from ...apenet.config import DEFAULT_CONFIG
+from ...cuda.stream import CudaStream
+from ...gpu.kernels import KernelLaunch
+from ...net.cluster import build_apenet_cluster
+from ...net.topology import TorusShape
+from ...sim import Simulator
+from ...units import Gbps, KiB, us
+from .distributed import HsgResult, _face_parity_mask  # reuse result type
+from .lattice import SpinLattice, overrelax_spins
+from .perf import SPIN_BYTES, HsgKernelModel
+
+__all__ = ["Hsg2DConfig", "run_hsg_2d", "grid_for_ranks"]
+
+HALO_CHUNK = 128 * KiB
+
+
+def grid_for_ranks(np_: int) -> tuple[int, int]:
+    """The most square (Py, Pz) factorization of NP."""
+    best = (1, np_)
+    for py in range(1, int(math.sqrt(np_)) + 1):
+        if np_ % py == 0:
+            best = (py, np_ // py)
+    return best
+
+
+@dataclass
+class Hsg2DConfig:
+    """One 2-D-decomposed HSG run."""
+
+    L: int = 128
+    np_: int = 4
+    grid: Optional[tuple[int, int]] = None  # (Py, Pz); default: most square
+    sweeps: int = 2
+    validate: bool = False
+    seed: int = 7
+    link_bandwidth: float = Gbps(20)
+
+    def __post_init__(self):
+        if self.grid is None:
+            self.grid = grid_for_ranks(self.np_)
+        py, pz = self.grid
+        if py * pz != self.np_:
+            raise ValueError(f"grid {self.grid} does not cover NP={self.np_}")
+        if self.L % py or self.L % pz:
+            raise ValueError("L must be divisible by both grid dimensions")
+
+
+def _torus_for(np_: int) -> TorusShape:
+    shapes = {1: (1, 1, 1), 2: (2, 1, 1), 4: (4, 1, 1), 8: (4, 2, 1), 16: (4, 4, 1)}
+    if np_ not in shapes:
+        raise ValueError(f"NP={np_} has no torus mapping here")
+    return TorusShape(*shapes[np_])
+
+
+class _Rank2D:
+    """Per-rank pencil state."""
+
+    # Face descriptors: (name, axis ('y'|'z'), side (-1|+1))
+    FACES = [("ym", "y", -1), ("yp", "y", 1), ("zm", "z", -1), ("zp", "z", 1)]
+
+    def __init__(self, cfg: Hsg2DConfig, rank: int, node, model: HsgKernelModel):
+        self.cfg = cfg
+        self.rank = rank
+        self.node = node
+        self.model = model
+        py, pz = cfg.grid
+        self.py, self.pz = rank % py, rank // py
+        self.Ly, self.Lz = cfg.L // py, cfg.L // pz
+        self.y0, self.z0 = self.py * self.Ly, self.pz * self.Lz
+        self.local_sites = cfg.L * self.Ly * self.Lz
+        site_bytes = 24 if cfg.validate else SPIN_BYTES
+        # Parity-packed face sizes (bytes).
+        self.face_bytes = {
+            "y": cfg.L * self.Lz // 2 * site_bytes,
+            "z": cfg.L * self.Ly // 2 * site_bytes,
+        }
+        self.slab: Optional[np.ndarray] = None
+        if cfg.validate:
+            self.slab = np.zeros((cfg.L, self.Ly + 2, self.Lz + 2, 3))
+        self.t_net = 0.0
+        self.t_bnd = 0.0
+        self.s_bulk = CudaStream(node.runtime.sim, f"r{rank}.bulk2d")
+        self.s_bnd = CudaStream(node.runtime.sim, f"r{rank}.bnd2d")
+
+    # -- neighbours ---------------------------------------------------------
+
+    def neighbor(self, axis: str, side: int) -> int:
+        """Rank of the grid neighbour along *axis* in direction *side*."""
+        py, pz = self.cfg.grid
+        if axis == "y":
+            return ((self.py + side) % py) + py * self.pz
+        return self.py + py * ((self.pz + side) % pz)
+
+    # -- numerics (validate mode) --------------------------------------------
+
+    def interior_field(self) -> np.ndarray:
+        """Six-neighbour field of the owned pencil (uses halo planes)."""
+        s = self.slab
+        h = np.roll(s, 1, axis=0) + np.roll(s, -1, axis=0)
+        h = h[:, 1:-1, 1:-1]
+        h = h + s[:, 0:-2, 1:-1] + s[:, 2:, 1:-1]
+        h = h + s[:, 1:-1, 0:-2] + s[:, 1:-1, 2:]
+        return h
+
+    def parity_mask(self) -> np.ndarray:
+        """Checkerboard parity of each owned site (global coordinates)."""
+        L = self.cfg.L
+        x, y, z = np.indices((L, self.Ly, self.Lz))
+        return (x + y + self.y0 + z + self.z0) % 2
+
+    def update_parity(self, parity: int) -> None:
+        """Over-relax the owned sites of one parity."""
+        h = self.interior_field()
+        interior = self.slab[:, 1:-1, 1:-1]
+        updated = overrelax_spins(interior, h)
+        mask = self.parity_mask() == parity
+        interior[mask] = updated[mask]
+
+    def _face_plane(self, axis: str, side: int, halo: bool):
+        """View of a boundary plane (owned) or halo plane."""
+        if axis == "y":
+            if halo:
+                idx = 0 if side < 0 else self.Ly + 1
+            else:
+                idx = 1 if side < 0 else self.Ly
+            return self.slab[:, idx, 1:-1]
+        if halo:
+            idx = 0 if side < 0 else self.Lz + 1
+        else:
+            idx = 1 if side < 0 else self.Lz
+        return self.slab[:, 1:-1, idx]
+
+    def _face_mask(self, axis: str, side: int, parity: int, halo: bool) -> np.ndarray:
+        """(L, extent) parity mask of a face plane in GLOBAL coordinates."""
+        L = self.cfg.L
+        if axis == "y":
+            gy = (
+                (self.y0 - 1 if side < 0 else self.y0 + self.Ly)
+                if halo
+                else (self.y0 if side < 0 else self.y0 + self.Ly - 1)
+            ) % L
+            x, z = np.indices((L, self.Lz))
+            par = (x + gy + z + self.z0) % 2
+        else:
+            gz = (
+                (self.z0 - 1 if side < 0 else self.z0 + self.Lz)
+                if halo
+                else (self.z0 if side < 0 else self.z0 + self.Lz - 1)
+            ) % L
+            x, y = np.indices((L, self.Ly))
+            par = (x + y + self.y0 + gz) % 2
+        return par == parity
+
+    def pack_face(self, axis: str, side: int, parity: int) -> np.ndarray:
+        """Parity-packed bytes of an owned boundary plane."""
+        plane = self._face_plane(axis, side, halo=False)
+        mask = self._face_mask(axis, side, parity, halo=False)
+        return np.frombuffer(plane[mask].astype(np.float64).tobytes(), dtype=np.uint8)
+
+    def unpack_halo(self, axis: str, side: int, parity: int, raw) -> None:
+        """Install received parity sites into the matching halo plane."""
+        plane = self._face_plane(axis, side, halo=True)
+        mask = self._face_mask(axis, side, parity, halo=True)
+        vals = np.frombuffer(bytes(raw), dtype=np.float64).reshape(-1, 3)
+        plane[mask] = vals
+
+    # -- kernel site counts ----------------------------------------------------
+
+    def boundary_sites(self) -> int:
+        """Owned face sites of one parity (the boundary kernel's work)."""
+        L = self.cfg.L
+        # Union of the four faces, halved for one parity (edges counted once).
+        faces = 2 * L * self.Lz + 2 * L * self.Ly - 4 * L
+        return max(faces // 2, 1)
+
+    def bulk_sites(self) -> int:
+        """Interior sites of one parity (the bulk kernel's work)."""
+        return max(self.local_sites // 2 - self.boundary_sites(), 1)
+
+
+def run_hsg_2d(cfg: Hsg2DConfig) -> HsgResult:
+    """Execute one 2-D-decomposed configuration on the APEnet+ torus."""
+    sim = Simulator()
+    acfg = DEFAULT_CONFIG.with_(link_bandwidth=cfg.link_bandwidth)
+    cluster = build_apenet_cluster(sim, _torus_for(cfg.np_), acfg)
+    states = [
+        _Rank2D(cfg, r, cluster.nodes[r], HsgKernelModel(cluster.nodes[r].gpu.spec))
+        for r in range(cfg.np_)
+    ]
+
+    ref = None
+    energy_before = None
+    if cfg.validate:
+        ref = SpinLattice((cfg.L,) * 3, seed=cfg.seed)
+        energy_before = ref.energy()
+        for st in states:
+            L, Ly, Lz = cfg.L, st.Ly, st.Lz
+            st.slab[:, 1 : Ly + 1, 1 : Lz + 1] = ref.spins[
+                :, st.y0 : st.y0 + Ly, st.z0 : st.z0 + Lz
+            ]
+            # Seed halos from the global lattice (periodic).
+            st.slab[:, 0, 1:-1] = ref.spins[:, (st.y0 - 1) % L, st.z0 : st.z0 + Lz]
+            st.slab[:, Ly + 1, 1:-1] = ref.spins[:, (st.y0 + Ly) % L, st.z0 : st.z0 + Lz]
+            st.slab[:, 1:-1, 0] = ref.spins[:, st.y0 : st.y0 + Ly, (st.z0 - 1) % L]
+            st.slab[:, 1:-1, Lz + 1] = ref.spins[:, st.y0 : st.y0 + Ly, (st.z0 + Lz) % L]
+
+    # RDMA plumbing: per-face send/recv GPU buffers, registered up front.
+    send_bufs, recv_bufs = {}, {}
+    for st in states:
+        sb, rb = {}, {}
+        for name, axis, side in _Rank2D.FACES:
+            fb = max(st.face_bytes[axis], 64)
+            sb[name] = st.node.gpu.alloc(fb)
+            rb[name] = st.node.gpu.alloc(fb)
+        send_bufs[st.rank], recv_bufs[st.rank] = sb, rb
+
+    opposite = {"ym": "yp", "yp": "ym", "zm": "zp", "zp": "zm"}
+    t_start = {}
+
+    def rank_proc(st: _Rank2D):
+        node = st.node
+        ep = node.endpoint
+        for name, axis, side in _Rank2D.FACES:
+            yield from ep.register(recv_bufs[st.rank][name].addr, recv_bufs[st.rank][name].size)
+            yield from ep.register(send_bufs[st.rank][name].addr, send_bufs[st.rank][name].size)
+        yield sim.timeout(us(20))
+        t_start[st.rank] = sim.now
+        for sweep in range(cfg.sweeps):
+            for parity in (0, 1):
+                if cfg.validate:
+                    st.update_parity(parity)
+                bnd = st.model.boundary_kernel_ns(st.boundary_sites(), st.local_sites)
+                blk = st.model.bulk_kernel_ns(st.bulk_sites(), st.local_sites)
+                t0 = sim.now
+                bnd_ev = st.s_bnd.enqueue(
+                    lambda d=bnd: node.gpu.compute.execute(KernelLaunch("bnd", d))
+                )
+                blk_ev = st.s_bulk.enqueue(
+                    lambda d=blk: node.gpu.compute.execute(KernelLaunch("bulk", d))
+                )
+                yield bnd_ev
+                st.t_bnd += sim.now - t0
+                if cfg.np_ > 1:
+                    t1 = sim.now
+                    yield from _exchange_2d(
+                        sim, cfg, st, ep, send_bufs, recv_bufs, opposite, parity, sweep
+                    )
+                    st.t_net += sim.now - t1
+                elif cfg.validate:
+                    _wrap_local(st)
+                yield blk_ev
+
+    procs = [sim.process(rank_proc(st), name=f"hsg2d.r{st.rank}") for st in states]
+    sim.run()
+    assert all(p.processed for p in procs), "2-D HSG ranks deadlocked"
+
+    sites = cfg.L**3
+    start = max(t_start.values())
+    total = sim.now - start
+    per_spin = 1000.0 / (cfg.sweeps * sites)
+    spins = None
+    energy_after = None
+    if cfg.validate:
+        spins = np.zeros((cfg.L,) * 3 + (3,))
+        for st in states:
+            spins[:, st.y0 : st.y0 + st.Ly, st.z0 : st.z0 + st.Lz] = st.slab[:, 1:-1, 1:-1]
+        energy_after = SpinLattice((cfg.L,) * 3, spins=spins).energy()
+    return HsgResult(
+        config=cfg,
+        ttot_ps=total * per_spin,
+        tbnd_tnet_ps=float(np.mean([st.t_bnd + st.t_net for st in states]) * per_spin),
+        tnet_ps=float(np.mean([st.t_net for st in states]) * per_spin),
+        total_time_ns=total,
+        energy_before=energy_before,
+        energy_after=energy_after,
+        spins=spins,
+    )
+
+
+def _wrap_local(st: _Rank2D) -> None:
+    """NP=1: periodic halo refresh without a network."""
+    s = st.slab
+    s[:, 0, 1:-1] = s[:, st.Ly, 1:-1]
+    s[:, st.Ly + 1, 1:-1] = s[:, 1, 1:-1]
+    s[:, 1:-1, 0] = s[:, 1:-1, st.Lz]
+    s[:, 1:-1, st.Lz + 1] = s[:, 1:-1, 1]
+
+
+def _exchange_2d(sim, cfg, st, ep, send_bufs, recv_bufs, opposite, parity, sweep):
+    """One parity's four-face halo exchange."""
+    py, pz = cfg.grid
+    expected = 0
+    for name, axis, side in _Rank2D.FACES:
+        extent = py if axis == "y" else pz
+        if extent == 1:
+            # Single rank along this axis: periodic wrap is local.
+            if cfg.validate:
+                _wrap_axis_local(st, axis)
+            continue
+        peer = st.neighbor(axis, side)
+        nbytes = st.face_bytes[axis]
+        if cfg.validate:
+            raw = st.pack_face(axis, side, parity)
+            send_bufs[st.rank][name].data[: len(raw)] = raw
+        remote_face = opposite[name]
+        dst = recv_bufs[peer][remote_face].addr
+        n_chunks = math.ceil(nbytes / HALO_CHUNK)
+        for c in range(n_chunks):
+            off = c * HALO_CHUNK
+            csize = min(HALO_CHUNK, nbytes - off)
+            yield from ep.put(
+                peer, send_bufs[st.rank][name].addr + off, dst + off, csize,
+                src_kind=BufferKind.GPU, tag=("halo2d", sweep, parity, remote_face, c),
+            )
+        expected += n_chunks
+    for _ in range(expected):
+        yield from ep.wait_event()
+    if cfg.validate:
+        for name, axis, side in _Rank2D.FACES:
+            extent = py if axis == "y" else pz
+            if extent == 1:
+                continue
+            raw = recv_bufs[st.rank][name].data[: st.face_bytes[axis]]
+            st.unpack_halo(axis, side, parity, raw)
+
+
+def _wrap_axis_local(st: _Rank2D, axis: str) -> None:
+    s = st.slab
+    if axis == "y":
+        s[:, 0, 1:-1] = s[:, st.Ly, 1:-1]
+        s[:, st.Ly + 1, 1:-1] = s[:, 1, 1:-1]
+    else:
+        s[:, 1:-1, 0] = s[:, 1:-1, st.Lz]
+        s[:, 1:-1, st.Lz + 1] = s[:, 1:-1, 1]

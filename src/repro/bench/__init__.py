@@ -1,0 +1,20 @@
+"""Benchmark harness: experiments reproducing every table and figure."""
+
+from .figures import Series, ascii_plot, render_series_table, series_to_csv
+from .harness import Experiment, ExperimentResult, all_ids, get, register, run
+from .tables import fmt_ratio, render_table
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "register",
+    "get",
+    "run",
+    "all_ids",
+    "render_table",
+    "fmt_ratio",
+    "Series",
+    "render_series_table",
+    "ascii_plot",
+    "series_to_csv",
+]

@@ -1,0 +1,55 @@
+"""CLI: ``python -m repro.bench [experiment-id ...] [--full]``.
+
+Runs the named experiments (default: all) and prints their rendered
+tables/plots plus a paper-vs-measured summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import all_ids, run
+from .tables import fmt_ratio, render_table
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the paper's full parameters (slower; default is quick mode)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for i in all_ids():
+            print(i)
+        return 0
+
+    ids = args.ids or all_ids()
+    summary = []
+    for exp_id in ids:
+        t0 = time.time()
+        result = run(exp_id, quick=not args.full)
+        dt = time.time() - t0
+        print(f"\n{'#' * 72}\n# {exp_id}: {result.title}  ({dt:.1f}s)\n{'#' * 72}")
+        print(result.rendered)
+        for name, measured, paper, unit in result.comparisons:
+            summary.append((exp_id, name, measured, paper, fmt_ratio(measured, paper)))
+    if summary:
+        print("\n" + render_table(
+            ["experiment", "quantity", "measured", "paper", "dev"],
+            summary, title="Paper-vs-measured summary",
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Post-run cluster diagnostics: where did the time go?
+
+After any simulation, :func:`cluster_report` summarizes the observable
+hardware state — Nios II busy split by task, torus-link utilizations, FIFO
+high-water marks, RX drop counters, per-engine byte totals — the view a
+hardware engineer would pull from performance counters.  This is how the
+paper's own analysis narrative ("the Nios II micro-controller is the main
+performance bottleneck") falls out of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.cluster import ApenetCluster
+from .tables import render_table
+
+__all__ = ["NodeDiagnostics", "cluster_report", "render_report"]
+
+
+@dataclass
+class NodeDiagnostics:
+    """Counters harvested from one node."""
+
+    rank: int
+    nios_utilization: float
+    nios_busy_by_kind: dict[str, float]
+    rx_packets: int
+    rx_dropped: int
+    rx_bytes: int
+    tx_host_bytes: int
+    tx_gpu_bytes: int
+    tx_fifo_peak: int
+    rx_fifo_peak: int
+    registered_buffers: int
+
+    @property
+    def dominant_task(self) -> str:
+        """The task kind the Nios II spent the most time on."""
+        if not self.nios_busy_by_kind:
+            return "idle"
+        return max(self.nios_busy_by_kind, key=self.nios_busy_by_kind.get)
+
+
+def cluster_report(cluster: ApenetCluster) -> list[NodeDiagnostics]:
+    """Harvest diagnostics from every node of a finished run."""
+    out = []
+    for node in cluster.nodes:
+        card = node.card
+        out.append(
+            NodeDiagnostics(
+                rank=node.rank,
+                nios_utilization=card.nios.utilization(),
+                nios_busy_by_kind=dict(card.nios.busy_by_kind),
+                rx_packets=card.rx.packets_processed,
+                rx_dropped=card.rx.packets_dropped,
+                rx_bytes=card.rx.bytes_received,
+                tx_host_bytes=card.host_tx.bytes_sent,
+                tx_gpu_bytes=card.gpu_tx.bytes_sent,
+                tx_fifo_peak=card.router.inject_fifo.peak_level,
+                rx_fifo_peak=card.rx.fifo.peak_level,
+                registered_buffers=len(card.buflist),
+            )
+        )
+    return out
+
+
+def render_report(cluster: ApenetCluster) -> str:
+    """Human-readable diagnostics tables for a finished run."""
+    diags = cluster_report(cluster)
+    node_rows = [
+        (
+            d.rank,
+            f"{d.nios_utilization * 100:.0f}%",
+            d.dominant_task,
+            d.rx_packets,
+            d.rx_dropped,
+            d.tx_host_bytes + d.tx_gpu_bytes,
+            d.tx_fifo_peak,
+            d.rx_fifo_peak,
+        )
+        for d in diags
+    ]
+    nodes = render_table(
+        ["rank", "nios busy", "dominant task", "rx pkts", "dropped",
+         "tx bytes", "txfifo peak", "rxfifo peak"],
+        node_rows, title="Per-node firmware/engine counters",
+    )
+    link_rows = [
+        (name, f"{util * 100:.1f}%")
+        for name, util in sorted(
+            cluster.link_utilizations().items(), key=lambda kv: -kv[1]
+        )
+        if util > 0
+    ][:12]
+    links = render_table(
+        ["link", "wire utilization"],
+        link_rows or [("(no traffic)", "-")],
+        title="Busiest torus links",
+    )
+    return nodes + "\n\n" + links

@@ -1,0 +1,98 @@
+"""Figs 4 & 5 — GPU-read bandwidth vs message size, per TX engine.
+
+Fig 4: flushed TX (no RX load) — the pure prefetch-pipeline behaviour.
+Fig 5: full loop-back — the Nios II shares between GPU_P2P_TX and RX, so
+v3's hardware flow control pulls ahead.
+"""
+
+from __future__ import annotations
+
+from ...apenet.buflist import BufferKind
+from ...apenet.config import GpuTxVersion
+from ...units import KiB, kib, mib
+from ..figures import Series, ascii_plot, render_series_table
+from ..harness import ExperimentResult, register
+from ..microbench import loopback_read_bandwidth, unidirectional_bandwidth
+
+ENGINES = [
+    ("v1", GpuTxVersion.V1, 4 * KiB),
+    ("v2 w=4K", GpuTxVersion.V2, 4 * KiB),
+    ("v2 w=8K", GpuTxVersion.V2, 8 * KiB),
+    ("v2 w=16K", GpuTxVersion.V2, 16 * KiB),
+    ("v2 w=32K", GpuTxVersion.V2, 32 * KiB),
+    ("v3 w=64K", GpuTxVersion.V3, 64 * KiB),
+    ("v3 w=128K", GpuTxVersion.V3, 128 * KiB),
+]
+
+# Plateau reads from the paper's plots (MB/s at 4 MB messages).
+PAPER_PLATEAUS_FIG4 = {
+    "v1": 600.0,
+    "v2 w=4K": 920.0,
+    "v2 w=8K": 1150.0,
+    "v2 w=16K": 1310.0,
+    "v2 w=32K": 1450.0,
+    "v3 w=64K": 1500.0,
+    "v3 w=128K": 1500.0,
+}
+PAPER_PLATEAUS_FIG5 = {
+    "v1": 550.0,
+    "v2 w=32K": 950.0,
+    "v3 w=128K": 1100.0,
+}
+
+
+def _sizes(quick: bool) -> list[int]:
+    if quick:
+        return [kib(4), kib(16), kib(64), kib(256), mib(1)]
+    return [kib(4) << i for i in range(11)]  # 4K .. 4M
+
+
+def _sweep(quick: bool, loopback: bool) -> list[Series]:
+    out = []
+    engines = ENGINES if not quick else [ENGINES[0], ENGINES[2], ENGINES[4], ENGINES[6]]
+    for label, version, window in engines:
+        s = Series(label)
+        for size in _sizes(quick):
+            n = 6 if size >= mib(1) else None
+            if loopback:
+                r = unidirectional_bandwidth(
+                    BufferKind.GPU, BufferKind.GPU, size, n_messages=n, loopback=True,
+                    gpu_tx_version=version, prefetch_window=window,
+                )
+            else:
+                r = loopback_read_bandwidth(
+                    BufferKind.GPU, size, n_messages=n,
+                    gpu_tx_version=version, prefetch_window=window,
+                )
+            s.add(size, r.MBps)
+        out.append(s)
+    return out
+
+
+def _result(exp_id, title, series, paper_plateaus) -> ExperimentResult:
+    comparisons = []
+    for s in series:
+        if s.label in paper_plateaus:
+            comparisons.append(
+                (f"plateau {s.label}", s.y[-1], paper_plateaus[s.label], "MB/s")
+            )
+    rendered = (
+        render_series_table(series, title=title)
+        + "\n\n"
+        + ascii_plot(series, title=f"{title} (MB/s vs message size)")
+    )
+    return ExperimentResult(exp_id, title, rendered, comparisons, data=series)
+
+
+@register("fig4", "GPU read bandwidth vs prefetch window (flushed)", "Fig 4")
+def run_fig4(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig 4's family of curves."""
+    series = _sweep(quick, loopback=False)
+    return _result("fig4", "Fig 4 — GPU read bandwidth (TX flushed)", series, PAPER_PLATEAUS_FIG4)
+
+
+@register("fig5", "G-G loop-back bandwidth vs prefetch window", "Fig 5")
+def run_fig5(quick: bool = True) -> ExperimentResult:
+    """Reproduce Fig 5: same sweep under full loop-back (shared Nios II)."""
+    series = _sweep(quick, loopback=True)
+    return _result("fig5", "Fig 5 — G-G loop-back bandwidth", series, PAPER_PLATEAUS_FIG5)

@@ -1,0 +1,96 @@
+"""Figs 6 & 7 — two-node uni-directional bandwidth.
+
+Fig 6: the four source/destination buffer combinations on APEnet+.
+Fig 7: G-G by method — APEnet+ P2P, APEnet+ staging (P2P=OFF), and the
+MVAPICH2/InfiniBand OSU reference.
+"""
+
+from __future__ import annotations
+
+from ...apenet.buflist import BufferKind
+from ...mpi.osu import osu_bandwidth
+from ...units import kib, mib
+from ..figures import Series, ascii_plot, render_series_table
+from ..harness import ExperimentResult, register
+from ..microbench import staged_unidirectional_bandwidth, unidirectional_bandwidth
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+# Curve reads from the paper's plots (MB/s).
+PAPER_FIG6 = {
+    ("H-H", mib(4)): 1200.0,
+    ("G-G", mib(4)): 1050.0,
+    ("H-H", kib(8)): 950.0,
+    ("G-G", kib(8)): 475.0,
+}
+PAPER_FIG7 = {
+    ("P2P=ON", kib(8)): 475.0,
+    ("P2P=OFF", kib(8)): 300.0,
+    ("P2P=ON", mib(4)): 1050.0,
+    ("P2P=OFF", mib(4)): 1200.0,
+    ("IB MVAPICH2", mib(4)): 3000.0,
+}
+
+
+def _sizes(quick: bool, lo=32) -> list[int]:
+    if quick:
+        return [32, 512, kib(8), kib(64), kib(512), mib(4)]
+    sizes = []
+    s = lo
+    while s <= mib(4):
+        sizes.append(s)
+        s *= 4
+    return sizes
+
+
+@register("fig6", "Two-node bandwidth, 4 buffer combinations", "Fig 6")
+def run_fig6(quick: bool = True) -> ExperimentResult:
+    """H-H / H-G / G-H / G-G PUT bandwidth vs message size."""
+    combos = [("H-H", H, H), ("H-G", H, G), ("G-H", G, H), ("G-G", G, G)]
+    series = []
+    for label, s_kind, d_kind in combos:
+        s = Series(label)
+        for size in _sizes(quick):
+            n = 5 if size >= mib(1) else None
+            r = unidirectional_bandwidth(s_kind, d_kind, size, n_messages=n)
+            s.add(size, r.MBps)
+        series.append(s)
+    comparisons = []
+    for s in series:
+        for (label, size), paper in PAPER_FIG6.items():
+            if s.label == label and size in s.x:
+                comparisons.append(
+                    (f"{label} @{size}B", s.y[s.x.index(size)], paper, "MB/s")
+                )
+    rendered = (
+        render_series_table(series, title="Fig 6 — two-node bandwidth (MB/s)")
+        + "\n\n" + ascii_plot(series, title="Fig 6")
+    )
+    return ExperimentResult("fig6", "Two-node bandwidth", rendered, comparisons, series)
+
+
+@register("fig7", "G-G bandwidth: P2P vs staging vs InfiniBand", "Fig 7")
+def run_fig7(quick: bool = True) -> ExperimentResult:
+    """The method comparison with the ~32 KB crossover."""
+    series = []
+    p2p = Series("P2P=ON")
+    off = Series("P2P=OFF")
+    ib = Series("IB MVAPICH2")
+    for size in _sizes(quick):
+        n = 5 if size >= mib(1) else None
+        p2p.add(size, unidirectional_bandwidth(G, G, size, n_messages=n).MBps)
+        off.add(size, staged_unidirectional_bandwidth(size, n_messages=n).MBps)
+        ib.add(size, osu_bandwidth(size, gpu_buffers=True, window=8, iterations=2) * 1000.0)
+    series = [p2p, off, ib]
+    comparisons = []
+    for s in series:
+        for (label, size), paper in PAPER_FIG7.items():
+            if s.label == label and size in s.x:
+                comparisons.append(
+                    (f"{label} @{size}B", s.y[s.x.index(size)], paper, "MB/s")
+                )
+    rendered = (
+        render_series_table(series, title="Fig 7 — G-G bandwidth by method (MB/s)")
+        + "\n\n" + ascii_plot(series, title="Fig 7")
+    )
+    return ExperimentResult("fig7", "G-G bandwidth by method", rendered, comparisons, series)

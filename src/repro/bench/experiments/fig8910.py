@@ -1,0 +1,109 @@
+"""Figs 8, 9 & 10 — latency and host overhead.
+
+Fig 8: APEnet+ half-RTT for the four buffer combinations (32 B – 4 KB).
+Fig 9: G-G latency by method — P2P, staging, MVAPICH2/IB (32 B – 64 KB).
+Fig 10: LogP host overhead from the bandwidth-test run times.
+"""
+
+from __future__ import annotations
+
+from ...apenet.buflist import BufferKind
+from ...mpi.osu import osu_latency
+from ...units import kib
+from ..figures import Series, ascii_plot, render_series_table
+from ..harness import ExperimentResult, register
+from ..microbench import pingpong_latency, sender_gap, staged_pingpong_latency
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+PAPER_FIG8 = {("H-H", 32): 6.3, ("G-G", 32): 8.2}
+PAPER_FIG9 = {
+    ("P2P=ON", 32): 8.2,
+    ("P2P=OFF", 32): 16.8,
+    ("IB MVAPICH2", 32): 17.4,
+}
+PAPER_FIG10 = {("H-H", 128): 5.0, ("G-G P2P", 128): 8.0, ("G-G staged", 128): 17.0}
+
+
+def _sizes(quick: bool, hi: int) -> list[int]:
+    if quick:
+        return [s for s in (32, 256, 2048, kib(16), kib(64)) if s <= hi]
+    sizes = []
+    s = 32
+    while s <= hi:
+        sizes.append(s)
+        s *= 2
+    return sizes
+
+
+@register("fig8", "APEnet+ latency, 4 buffer combinations", "Fig 8")
+def run_fig8(quick: bool = True) -> ExperimentResult:
+    """Half round-trip for H-H / H-G / G-H / G-G."""
+    combos = [("H-H", H, H), ("H-G", H, G), ("G-H", G, H), ("G-G", G, G)]
+    series = []
+    for label, a, b in combos:
+        s = Series(label)
+        for size in _sizes(quick, kib(4)):
+            s.add(size, pingpong_latency(a, b, size).usec)
+        series.append(s)
+    comparisons = [
+        (f"{s.label} @32B", s.y[0], PAPER_FIG8.get((s.label, 32)), "us")
+        for s in series
+        if (s.label, 32) in PAPER_FIG8
+    ]
+    rendered = (
+        render_series_table(series, title="Fig 8 — APEnet+ half-RTT latency (us)")
+        + "\n\n" + ascii_plot(series, title="Fig 8")
+    )
+    return ExperimentResult("fig8", "APEnet+ latency", rendered, comparisons, series)
+
+
+@register("fig9", "G-G latency: P2P vs staging vs InfiniBand", "Fig 9")
+def run_fig9(quick: bool = True) -> ExperimentResult:
+    """The 50%-less-latency headline comparison."""
+    p2p = Series("P2P=ON")
+    off = Series("P2P=OFF")
+    ib = Series("IB MVAPICH2")
+    for size in _sizes(quick, kib(64)):
+        p2p.add(size, pingpong_latency(G, G, size).usec)
+        off.add(size, staged_pingpong_latency(size).usec)
+        ib.add(size, osu_latency(size, gpu_buffers=True) / 1000.0)
+    series = [p2p, off, ib]
+    comparisons = [
+        (f"{s.label} @32B", s.y[0], PAPER_FIG9[(s.label, 32)], "us") for s in series
+    ]
+    comparisons.append(
+        ("P2P/staging latency ratio @32B", p2p.y[0] / off.y[0], 0.49, "x")
+    )
+    rendered = (
+        render_series_table(series, title="Fig 9 — G-G latency by method (us)")
+        + "\n\n" + ascii_plot(series, title="Fig 9")
+    )
+    return ExperimentResult("fig9", "G-G latency by method", rendered, comparisons, series)
+
+
+@register("fig10", "Host overhead (LogP o) via bandwidth-test run times", "Fig 10")
+def run_fig10(quick: bool = True) -> ExperimentResult:
+    """Per-message sender cost under a full queue."""
+    n = 24 if quick else 48
+    hh = Series("H-H")
+    gg = Series("G-G P2P")
+    st = Series("G-G staged")
+    for size in _sizes(quick, kib(4)):
+        hh.add(size, sender_gap(H, H, size, n_messages=n) / 1000.0)
+        gg.add(size, sender_gap(G, G, size, n_messages=n) / 1000.0)
+        st.add(size, sender_gap(G, G, size, n_messages=n, staged=True) / 1000.0)
+    series = [hh, gg, st]
+    comparisons = []
+    for s in series:
+        if (s.label, 128) in PAPER_FIG10 and 128 in s.x:
+            comparisons.append(
+                (f"{s.label} @128B", s.y[s.x.index(128)], PAPER_FIG10[(s.label, 128)], "us")
+            )
+        elif (s.label, 128) in PAPER_FIG10:
+            comparisons.append((f"{s.label} @32B", s.y[0], PAPER_FIG10[(s.label, 128)], "us"))
+    rendered = (
+        render_series_table(series, title="Fig 10 — host overhead (us/message)")
+        + "\n\n" + ascii_plot(series, title="Fig 10")
+    )
+    return ExperimentResult("fig10", "Host overhead", rendered, comparisons, series)

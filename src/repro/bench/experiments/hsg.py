@@ -1,0 +1,105 @@
+"""Tables II & III and Fig 11 — Heisenberg Spin Glass strong scaling."""
+
+from __future__ import annotations
+
+from ...apps.hsg import HsgConfig, run_hsg
+from ..figures import Series, render_series_table
+from ..harness import ExperimentResult, register
+from ..tables import fmt_ratio, render_table
+
+# Table II (L=256, P2P=ON): NP -> (Ttot, Tbnd+Tnet, Tnet) in ps/spin.
+PAPER_TABLE2 = {1: (921, 11, None), 2: (416, 108, 97), 4: (202, 119, 113), 8: (148, 148, 141)}
+# Table III (L=256, NP=2): variant -> (Ttot, Tbnd+Tnet, Tnet).
+PAPER_TABLE3 = {
+    "P2P=ON": (416, 108, 97),
+    "P2P=RX": (416, 97, 91),
+    "P2P=OFF": (416, 122, 114),
+    "OMPI/IB": (416, 108, 101),
+}
+# Fig 11 speedups (visual reads): (L, NP) -> speedup.
+PAPER_FIG11 = {
+    (256, 2): 2.21, (256, 4): 4.56, (256, 8): 6.22,
+    (512, 2): 2.35,
+    (128, 2): 1.9,
+}
+
+
+@register("table2", "HSG strong scaling, L=256, P2P=ON", "Table II")
+def run_table2(quick: bool = True) -> ExperimentResult:
+    """Single-spin update times vs node count."""
+    sweeps = 2 if quick else 4
+    rows = []
+    comparisons = []
+    for np_ in (1, 2, 4, 8):
+        r = run_hsg(HsgConfig(L=256, np_=np_, p2p_mode="on", sweeps=sweeps))
+        p = PAPER_TABLE2[np_]
+        rows.append(
+            (np_, round(r.ttot_ps), p[0], round(r.tbnd_tnet_ps), p[1],
+             round(r.tnet_ps) if np_ > 1 else None, p[2])
+        )
+        comparisons.append((f"Ttot NP={np_}", r.ttot_ps, p[0], "ps/spin"))
+        if p[2] is not None:
+            comparisons.append((f"Tnet NP={np_}", r.tnet_ps, p[2], "ps/spin"))
+    rendered = render_table(
+        ["NP", "Ttot", "(paper)", "Tbnd+Tnet", "(paper)", "Tnet", "(paper)"],
+        rows, title="Table II — HSG strong scaling, L=256 (ps per spin)",
+    )
+    return ExperimentResult("table2", "HSG strong scaling", rendered, comparisons, rows)
+
+
+@register("table3", "HSG two-node breakdown by P2P mode", "Table III")
+def run_table3(quick: bool = True) -> ExperimentResult:
+    """P2P=ON / RX-only / staging / OpenMPI-over-IB at L=256, NP=2."""
+    sweeps = 2 if quick else 4
+    rows = []
+    comparisons = []
+    variants = [
+        ("P2P=ON", dict(transport="apenet", p2p_mode="on")),
+        ("P2P=RX", dict(transport="apenet", p2p_mode="rx")),
+        ("P2P=OFF", dict(transport="apenet", p2p_mode="off")),
+        ("OMPI/IB", dict(transport="mpi")),
+    ]
+    for label, kw in variants:
+        r = run_hsg(HsgConfig(L=256, np_=2, sweeps=sweeps, **kw))
+        p = PAPER_TABLE3[label]
+        rows.append(
+            (label, round(r.ttot_ps), p[0], round(r.tbnd_tnet_ps), p[1],
+             round(r.tnet_ps), p[2])
+        )
+        comparisons.append((f"Tnet {label}", r.tnet_ps, p[2], "ps/spin"))
+    rendered = render_table(
+        ["Variant", "Ttot", "(paper)", "Tbnd+Tnet", "(paper)", "Tnet", "(paper)"],
+        rows, title="Table III — HSG two-node breakdown, L=256 (ps per spin)",
+    )
+    return ExperimentResult("table3", "HSG breakdown by mode", rendered, comparisons, rows)
+
+
+@register("fig11", "HSG speedup vs nodes, by lattice size and P2P mode", "Fig 11")
+def run_fig11(quick: bool = True) -> ExperimentResult:
+    """Strong-scaling speedups incl. the L=512 super-linear regime."""
+    sweeps = 1 if quick else 2
+    Ls = [128, 256] if quick else [128, 256, 512]
+    modes = ["on"] if quick else ["off", "rx", "on"]
+    series = []
+    comparisons = []
+    for L in Ls:
+        base = {m: run_hsg(HsgConfig(L=L, np_=1, p2p_mode=m, sweeps=sweeps)) for m in modes}
+        for m in modes:
+            s = Series(f"L={L} P2P={m.upper()}")
+            s.add(1, 1.0)
+            for np_ in (2, 4, 8):
+                if L % np_:
+                    continue
+                r = run_hsg(HsgConfig(L=L, np_=np_, p2p_mode=m, sweeps=sweeps))
+                sp = r.speedup_vs(base[m])
+                s.add(np_, sp)
+                if m == "on" and (L, np_) in PAPER_FIG11:
+                    comparisons.append(
+                        (f"speedup L={L} NP={np_}", sp, PAPER_FIG11[(L, np_)], "x")
+                    )
+            series.append(s)
+    rendered = render_series_table(
+        series, x_label="NP", x_is_size=False,
+        title="Fig 11 — HSG strong-scaling speedup",
+    )
+    return ExperimentResult("fig11", "HSG speedup scaling", rendered, comparisons, series)

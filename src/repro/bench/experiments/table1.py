@@ -1,0 +1,59 @@
+"""Table I — APEnet+ low-level bandwidths (single-board loop-back)."""
+
+from __future__ import annotations
+
+from ...apenet.buflist import BufferKind
+from ...gpu.specs import FERMI_2050, KEPLER_K20
+from ...units import mib
+from ..harness import ExperimentResult, register
+from ..microbench import bar1_read_bandwidth, loopback_read_bandwidth, unidirectional_bandwidth
+from ..tables import fmt_ratio, render_table
+
+# (row label, paper MB/s)
+PAPER = {
+    "Host mem read": 2400.0,
+    "GPU mem read (Fermi/P2P)": 1500.0,
+    "GPU mem read (Fermi/BAR1)": 150.0,
+    "GPU mem read (Kepler/P2P)": 1600.0,
+    "GPU mem read (Kepler/BAR1)": 1600.0,
+    "GPU-to-GPU loop-back": 1100.0,
+    "Host-to-Host loop-back": 1200.0,
+}
+
+
+@register("table1", "APEnet+ low-level bandwidths", "Table I")
+def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce every row of Table I."""
+    n = 4 if quick else 8
+    size = mib(1)
+    H, G = BufferKind.HOST, BufferKind.GPU
+    measured = {
+        "Host mem read": loopback_read_bandwidth(H, size, n_messages=n).MBps,
+        "GPU mem read (Fermi/P2P)": loopback_read_bandwidth(G, size, n_messages=n).MBps,
+        "GPU mem read (Fermi/BAR1)": bar1_read_bandwidth(FERMI_2050).MBps,
+        "GPU mem read (Kepler/P2P)": loopback_read_bandwidth(
+            G, size, n_messages=n, gpu_spec=KEPLER_K20
+        ).MBps,
+        "GPU mem read (Kepler/BAR1)": bar1_read_bandwidth(KEPLER_K20).MBps,
+        "GPU-to-GPU loop-back": unidirectional_bandwidth(
+            G, G, size, n_messages=n, loopback=True
+        ).MBps,
+        "Host-to-Host loop-back": unidirectional_bandwidth(
+            H, H, size, n_messages=n, loopback=True
+        ).MBps,
+    }
+    rows = [
+        (label, round(measured[label]), PAPER[label], fmt_ratio(measured[label], PAPER[label]))
+        for label in PAPER
+    ]
+    rendered = render_table(
+        ["Test", "Measured MB/s", "Paper MB/s", "dev"], rows,
+        title="Table I — low-level bandwidths",
+    )
+    return ExperimentResult(
+        "table1",
+        "APEnet+ low-level bandwidths",
+        rendered,
+        comparisons=[(k, measured[k], PAPER[k], "MB/s") for k in PAPER],
+        data=measured,
+    )

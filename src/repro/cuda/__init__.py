@@ -1,0 +1,24 @@
+"""CUDA-like host runtime: UVA pointers, streams, memcpy cost model."""
+
+from .config import DEFAULT_COSTS, CudaCosts
+from .memcpy import MemcpyKind, classify, memcpy_async, memcpy_device_work, memcpy_sync
+from .pointer import MemoryType, P2PTokens, PointerAttributes
+from .runtime import CudaRuntime, HostBuffer
+from .stream import CudaEvent, CudaStream
+
+__all__ = [
+    "CudaCosts",
+    "DEFAULT_COSTS",
+    "CudaRuntime",
+    "HostBuffer",
+    "CudaStream",
+    "CudaEvent",
+    "MemcpyKind",
+    "classify",
+    "memcpy_sync",
+    "memcpy_async",
+    "memcpy_device_work",
+    "MemoryType",
+    "PointerAttributes",
+    "P2PTokens",
+]

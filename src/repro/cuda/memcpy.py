@@ -1,0 +1,147 @@
+"""``cudaMemcpy`` paths: classification, device work, and host-side costs.
+
+The copy *kind* is inferred from the UVA pointers (cudaMemcpyDefault
+semantics).  Device-side work runs on the GPU DMA engines
+(:mod:`repro.gpu.dma`); this module adds the host-visible behaviour:
+
+* **sync** copies block the caller for ``sync_memcpy_overhead`` (~10 µs,
+  §V.C) plus the full transfer — the cost that makes staging expensive;
+* **async** copies charge only an enqueue cost and run on a
+  :class:`~repro.cuda.stream.CudaStream`.
+
+Real data moves whenever both sides have materialized backing arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..sim import Event
+from .runtime import CudaRuntime
+from .stream import CudaStream
+
+__all__ = ["MemcpyKind", "classify", "memcpy_device_work", "memcpy_sync", "memcpy_async"]
+
+# Plain host memcpy bandwidth (bytes/ns) for H2H staging copies.
+_HOST_MEMCPY_RATE = 6.0
+
+
+class MemcpyKind(enum.Enum):
+    """Transfer direction, as in the cudaMemcpyKind enum."""
+
+    H2H = "HostToHost"
+    H2D = "HostToDevice"
+    D2H = "DeviceToHost"
+    D2D = "DeviceToDevice"  # same GPU
+    P2P = "PeerToPeer"  # different GPUs
+
+
+def classify(rt: CudaRuntime, dst: int, src: int) -> MemcpyKind:
+    """Infer the copy kind from two UVA pointers."""
+    d = rt.pointer_attributes(dst)
+    s = rt.pointer_attributes(src)
+    if s.is_device and d.is_device:
+        if s.device_index == d.device_index:
+            return MemcpyKind.D2D
+        return MemcpyKind.P2P
+    if s.is_device:
+        return MemcpyKind.D2H
+    if d.is_device:
+        return MemcpyKind.H2D
+    return MemcpyKind.H2H
+
+
+def memcpy_device_work(rt: CudaRuntime, dst: int, src: int, nbytes: int) -> Event:
+    """Start the device-side transfer; returns its completion event.
+
+    No host cost is charged here — callers wrap this with sync/async
+    semantics.
+    """
+    if nbytes <= 0:
+        raise ValueError("memcpy needs a positive size")
+    kind = classify(rt, dst, src)
+    sim = rt.sim
+
+    if kind is MemcpyKind.D2H:
+        gpu = rt.owner_gpu(src)
+        host = rt.host_buffer_at(dst)
+        array = host.data if (host._data is not None or _gpu_has_data(gpu, src)) else None
+        return gpu.dma.device_to_host(
+            src, dst, nbytes, host_array=array, host_offset=dst - host.addr
+        )
+
+    if kind is MemcpyKind.H2D:
+        gpu = rt.owner_gpu(dst)
+        host = rt.host_buffer_at(src)
+        array = host.data if host._data is not None else None
+        return gpu.dma.host_to_device(
+            src, dst, nbytes, host_array=array, host_offset=src - host.addr
+        )
+
+    if kind is MemcpyKind.D2D:
+        gpu = rt.owner_gpu(src)
+        done = Event(sim)
+
+        def _d2d():
+            # On-device copy: read + write against device memory bandwidth.
+            yield sim.timeout(nbytes / (gpu.spec.mem_bandwidth / 2))
+            src_buf = gpu.allocator.buffer_at(src)
+            if src_buf._data is not None:
+                data = src_buf.read_bytes(src, nbytes)
+                gpu.allocator.buffer_at(dst).write_bytes(dst, data)
+            done.succeed(nbytes)
+
+        sim.process(_d2d(), name=f"{gpu.name}.d2d")
+        return done
+
+    if kind is MemcpyKind.P2P:
+        gpu = rt.owner_gpu(src)
+        return gpu.dma.device_to_peer(src, dst, nbytes)
+
+    # H2H
+    done = Event(sim)
+
+    def _h2h():
+        yield sim.timeout(nbytes / _HOST_MEMCPY_RATE)
+        src_buf = rt.host_buffer_at(src)
+        if src_buf._data is not None:
+            data = src_buf.read_bytes(src, nbytes)
+            rt.host_buffer_at(dst).write_bytes(dst, data)
+        done.succeed(nbytes)
+
+    sim.process(_h2h(), name="h2h")
+    return done
+
+
+def _gpu_has_data(gpu, addr: int) -> bool:
+    try:
+        return gpu.allocator.buffer_at(addr)._data is not None
+    except KeyError:
+        return False
+
+
+def memcpy_sync(rt: CudaRuntime, dst: int, src: int, nbytes: int):
+    """Synchronous cudaMemcpy (generator: ``yield from``).
+
+    Blocks the calling host process for the ~10 µs call overhead plus the
+    entire transfer — "fully synchronous with respect to the host,
+    therefore it does not overlap" (§V.C).
+    """
+    yield rt.sim.timeout(rt.costs.sync_memcpy_overhead)
+    yield memcpy_device_work(rt, dst, src, nbytes)
+    return nbytes
+
+
+def memcpy_async(
+    rt: CudaRuntime, dst: int, src: int, nbytes: int, stream: CudaStream
+):
+    """cudaMemcpyAsync on *stream* (generator; returns completion event).
+
+    The caller pays only the enqueue cost; the transfer runs in stream
+    order.  ``ev = yield from memcpy_async(...)`` then later ``yield ev``.
+    """
+    yield rt.sim.timeout(rt.costs.async_enqueue_cost)
+    return stream.enqueue(
+        lambda: memcpy_device_work(rt, dst, src, nbytes), f"memcpy:{nbytes}"
+    )

@@ -1,0 +1,121 @@
+"""CUDA streams and events: in-order queues over the device engines.
+
+Work items enqueued on one stream execute strictly in order; different
+streams proceed independently — the property MPI pipelining implementations
+get wrong at their peril: "this approach can even hurt performance for
+medium-size messages, due to them not using independent CUDA STREAMs,
+thereby introducing an implicit synchronization that ruins the
+computation-communication overlap" (§II).
+
+A work item is a thunk returning a device-side completion
+:class:`~repro.sim.core.Event`; the stream worker awaits each in turn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Event, Simulator, Store
+
+__all__ = ["CudaStream", "CudaEvent"]
+
+
+class CudaEvent:
+    """cudaEvent: marks a point in a stream; query/synchronize on it."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._fired = Event(sim)
+        self.record_time: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the stream has passed the recorded point."""
+        return self._fired.triggered
+
+    @property
+    def elapsed_since(self) -> Optional[float]:
+        """Completion timestamp (None until recorded and passed)."""
+        return self.record_time
+
+    def wait(self) -> Event:
+        """Simulation event to ``yield`` on (cudaEventSynchronize)."""
+        return self._fired
+
+    def _complete(self) -> None:
+        self.record_time = self.sim.now
+        self._fired.succeed(self.sim.now)
+
+
+class CudaStream:
+    """One in-order execution queue bound to a GPU."""
+
+    def __init__(self, sim: Simulator, name: str = "stream"):
+        self.sim = sim
+        self.name = name
+        self._queue: Store = Store(sim)
+        self._pending = 0
+        self._idle_waiters: list[Event] = []
+        self.ops_completed = 0
+        sim.process(self._worker(), name=f"{name}.worker")
+
+    def enqueue(self, thunk: Callable[[], Event], label: str = "") -> Event:
+        """Queue a work item; returns its per-item completion event."""
+        done = Event(self.sim)
+        self._pending += 1
+        self._queue.put((thunk, done, label))
+        return done
+
+    def record_event(self, event: Optional[CudaEvent] = None) -> CudaEvent:
+        """cudaEventRecord: completes when prior work on the stream drains."""
+        ev = event or CudaEvent(self.sim, f"{self.name}.ev")
+
+        def marker() -> Event:
+            t = self.sim.timeout(0)
+            return t
+
+        done = self.enqueue(marker, "event-record")
+        done.callbacks.append(lambda _: ev._complete())
+        return ev
+
+    def wait_event(self, ev: CudaEvent) -> None:
+        """cudaStreamWaitEvent: stall this stream until *ev* completes."""
+        self.enqueue(lambda: ev.wait(), "wait-event")
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or executing."""
+        return self._pending == 0
+
+    def synchronize(self) -> Event:
+        """Event firing when all currently-enqueued work has completed."""
+        ev = Event(self.sim)
+        if self.idle:
+            ev.succeed()
+        else:
+            self._idle_waiters.append(ev)
+        return ev
+
+    def _worker(self):
+        while True:
+            thunk, done, label = yield self._queue.get()
+            try:
+                completion = thunk()
+                if completion is not None:
+                    result = yield completion
+                else:
+                    result = None
+            except GeneratorExit:  # worker GC'd at simulation teardown
+                raise
+            except BaseException as exc:  # surface op failure to the waiter
+                self._pending -= 1
+                done.fail(exc)
+                continue
+            self.ops_completed += 1
+            self._pending -= 1
+            done.succeed(result)
+            if self._pending == 0 and self._idle_waiters:
+                waiters, self._idle_waiters = self._idle_waiters, []
+                for w in waiters:
+                    w.succeed()

@@ -1,0 +1,53 @@
+"""NVIDIA GPU device model: memory, GPUDirect P2P, BAR1, DMA, kernels."""
+
+from .bar1 import Bar1Aperture, Bar1Error, Bar1Mapping
+from .device import GPUDevice, gpu_base_address
+from .dma import DmaEngine
+from .kernels import KERNEL_LAUNCH_OVERHEAD, ComputeEngine, KernelLaunch
+from .memory import (
+    DeviceMemoryAllocator,
+    GpuBuffer,
+    GpuPageTable,
+    OutOfMemoryError,
+    PageDescriptor,
+    page_descriptors,
+)
+from .p2p import GPU_READ_CHUNK, REQUEST_DESCRIPTOR_BYTES, P2PReadEngine, P2PReadRequest
+from .specs import (
+    FERMI_2050,
+    FERMI_2070,
+    FERMI_2075,
+    GPU_PAGE_SIZE,
+    KEPLER_K10,
+    KEPLER_K20,
+    GPUSpec,
+)
+
+__all__ = [
+    "GPUDevice",
+    "gpu_base_address",
+    "GPUSpec",
+    "FERMI_2050",
+    "FERMI_2070",
+    "FERMI_2075",
+    "KEPLER_K10",
+    "KEPLER_K20",
+    "GPU_PAGE_SIZE",
+    "DeviceMemoryAllocator",
+    "GpuBuffer",
+    "GpuPageTable",
+    "PageDescriptor",
+    "page_descriptors",
+    "OutOfMemoryError",
+    "P2PReadEngine",
+    "P2PReadRequest",
+    "GPU_READ_CHUNK",
+    "REQUEST_DESCRIPTOR_BYTES",
+    "Bar1Aperture",
+    "Bar1Mapping",
+    "Bar1Error",
+    "DmaEngine",
+    "ComputeEngine",
+    "KernelLaunch",
+    "KERNEL_LAUNCH_OVERHEAD",
+]

@@ -1,0 +1,160 @@
+"""The GPU as a PCIe device: memory windows, protocol engines, DMA.
+
+Address layout (one contiguous region per GPU, assigned by the platform):
+
+* ``[base, base+vram)`` — device global memory, reachable by peers through
+  the GPUDirect P2P write path (posted writes land directly in buffers) and
+  by the mailbox read protocol (:mod:`repro.gpu.p2p`).  Plain PCIe reads of
+  this window model peer-initiated pulls and share the same internal read
+  limiter.
+* BAR1 aperture — standard memory-mapped access, mapped per-buffer
+  (:mod:`repro.gpu.bar1`); reads are catastrophically slow on Fermi.
+* mailbox — where initiators post P2P read-request descriptors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..pcie.device import PCIeDevice, ReadBehavior, WriteBehavior
+from ..sim import RateLimiter, Simulator
+from .bar1 import Bar1Aperture
+from .dma import DmaEngine
+from .kernels import ComputeEngine
+from .memory import DeviceMemoryAllocator, GpuPageTable
+from .p2p import P2PReadEngine, P2PReadRequest
+from .specs import GPU_PAGE_SIZE, GPUSpec
+
+__all__ = ["GPUDevice", "gpu_base_address"]
+
+# 64 GiB of address space per GPU keeps windows comfortably apart.
+_GPU_REGION_STRIDE = 1 << 36
+_GPU_REGION_BASE = 0x200_0000_0000
+
+
+def gpu_base_address(index: int) -> int:
+    """Canonical fabric base address for GPU number *index*."""
+    return _GPU_REGION_BASE + index * _GPU_REGION_STRIDE
+
+
+class GPUDevice(PCIeDevice):
+    """One NVIDIA GPU on the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        spec: GPUSpec,
+        base: Optional[int] = None,
+        index: int = 0,
+    ):
+        super().__init__(sim, name)
+        self.spec = spec
+        self.index = index
+        base = gpu_base_address(index) if base is None else base
+        self.gmem_window = self.add_window(base, spec.vram, "gmem")
+        bar1_base = base + ((spec.vram + GPU_PAGE_SIZE) // GPU_PAGE_SIZE) * GPU_PAGE_SIZE
+        self.bar1_window = self.add_window(bar1_base, spec.bar1_size, "bar1")
+        mailbox_base = bar1_base + spec.bar1_size
+        self.mailbox_window = self.add_window(mailbox_base, GPU_PAGE_SIZE, "mailbox")
+
+        self.allocator = DeviceMemoryAllocator(base, spec.vram, name)
+        self.bar1 = Bar1Aperture(bar1_base, spec.bar1_size, spec.bar1_map_cost, name)
+        self.page_table = GpuPageTable(name)
+
+        # Shared internal read path: mailbox protocol and peer pulls contend.
+        self._read_limiter = RateLimiter(sim, spec.p2p_read_rate, f"{name}.rd")
+        self._bar1_read_limiter = RateLimiter(sim, spec.bar1_read_rate, f"{name}.bar1rd")
+        self._write_limiter = (
+            RateLimiter(sim, spec.p2p_write_rate, f"{name}.wr")
+            if spec.p2p_write_rate is not None
+            else None
+        )
+
+        self.p2p_engine = P2PReadEngine(sim, self)
+        self.p2p_engine.limiter = self._read_limiter  # share one internal path
+        self.dma_engines = [DmaEngine(sim, self, i) for i in range(spec.copy_engines)]
+        self.compute = ComputeEngine(sim, name)
+
+        self._gmem_read = ReadBehavior(
+            latency=spec.p2p_read_head_latency, limiter=self._read_limiter
+        )
+        self._bar1_read = ReadBehavior(
+            latency=spec.bar1_read_latency, limiter=self._bar1_read_limiter
+        )
+        self._gmem_write = WriteBehavior(
+            limiter=self._write_limiter, on_write=self._on_mem_write
+        )
+        self._bar1_write = WriteBehavior(
+            limiter=self._write_limiter, on_write=self._on_bar1_write
+        )
+        self._mailbox_write = WriteBehavior(on_write=self._on_mailbox_write)
+
+        # Stats
+        self.inbound_write_bytes = 0
+
+    # ------------------------------------------------------------------
+    # PCIe target behaviour
+    # ------------------------------------------------------------------
+
+    def describe_read(self, addr: int) -> ReadBehavior:
+        if self.gmem_window.contains(addr):
+            return self._gmem_read
+        if self.bar1_window.contains(addr):
+            return self._bar1_read
+        raise PermissionError(f"{self.name}: mailbox window is write-only")
+
+    def describe_write(self, addr: int) -> WriteBehavior:
+        if self.gmem_window.contains(addr):
+            return self._gmem_write
+        if self.bar1_window.contains(addr):
+            return self._bar1_write
+        if self.mailbox_window.contains(addr):
+            return self._mailbox_write
+        raise KeyError(f"{self.name}: write outside any window: 0x{addr:x}")
+
+    def _on_mem_write(self, addr: int, nbytes: int, payload: Any) -> None:
+        self.inbound_write_bytes += nbytes
+        if payload is None:
+            return
+        data = np.asarray(payload, dtype=np.uint8)
+        buf = self.allocator.buffer_at(addr)  # raises if nothing is there
+        buf.write_bytes(addr, data[:nbytes])
+
+    def _on_bar1_write(self, addr: int, nbytes: int, payload: Any) -> None:
+        self.inbound_write_bytes += nbytes
+        if payload is None:
+            return
+        buf, dev_addr = self.bar1.translate(addr)
+        data = np.asarray(payload, dtype=np.uint8)
+        buf.write_bytes(dev_addr, data[:nbytes])
+
+    def _on_mailbox_write(self, addr: int, nbytes: int, payload: Any) -> None:
+        if payload is None:
+            return  # doorbell-only traffic
+        requests = payload if isinstance(payload, (list, tuple)) else [payload]
+        for req in requests:
+            if not isinstance(req, P2PReadRequest):
+                raise TypeError(
+                    f"{self.name}: mailbox expects P2PReadRequest, got {type(req)!r}"
+                )
+            self.p2p_engine.submit(req)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def alloc(self, nbytes: int):
+        """Allocate device memory (see :class:`DeviceMemoryAllocator`)."""
+        return self.allocator.alloc(nbytes)
+
+    def free(self, buf) -> None:
+        """Free device memory."""
+        self.allocator.free(buf)
+
+    @property
+    def dma(self) -> DmaEngine:
+        """The first copy engine (sufficient for single-stream use)."""
+        return self.dma_engines[0]

@@ -1,0 +1,16 @@
+"""InfiniBand baseline: ConnectX-2 HCAs around a crossbar switch."""
+
+from .card import IBCard, IBMessage
+from .cluster import IBCluster, IBClusterNode, build_ib_cluster
+from .fabric import IB_QDR_BANDWIDTH, IBFabric, IBPort
+
+__all__ = [
+    "IBCard",
+    "IBMessage",
+    "IBFabric",
+    "IBPort",
+    "IB_QDR_BANDWIDTH",
+    "IBCluster",
+    "IBClusterNode",
+    "build_ib_cluster",
+]

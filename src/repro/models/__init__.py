@@ -1,0 +1,5 @@
+"""Analytical models fitted from the simulated micro-benchmarks."""
+
+from .logp import LogPParameters, extract_logp
+
+__all__ = ["LogPParameters", "extract_logp"]

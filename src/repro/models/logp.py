@@ -1,0 +1,76 @@
+"""LogP parameter extraction (the model behind Fig 10).
+
+The paper frames its host-overhead measurement in the LogP model
+[Culler et al., PPoPP'93]: a message costs the sender an overhead **o**
+(CPU time that cannot overlap with other sends), the network imposes a
+gap **g** (minimum inter-message interval, the reciprocal of the
+small-message rate), and delivery adds a latency **L**.
+
+:func:`extract_logp` drives the micro-benchmarks to fit the triple for a
+given buffer combination; :class:`LogPParameters.predict_exchange` then
+estimates simple communication patterns, giving a closed-form sanity
+check against the simulated applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apenet.buflist import BufferKind
+from ..bench.microbench import pingpong_latency, sender_gap, unidirectional_bandwidth
+
+__all__ = ["LogPParameters", "extract_logp"]
+
+
+@dataclass(frozen=True)
+class LogPParameters:
+    """The fitted LogP triple plus the long-message bandwidth (all ns/B)."""
+
+    L: float  # wire+switch+RX latency, ns
+    o: float  # sender overhead per message, ns
+    g: float  # minimum gap between messages, ns
+    G: float  # per-byte gap for long messages (1/bandwidth), ns per byte
+    msg_size: int
+
+    def predict_send_time(self, nbytes: int) -> float:
+        """End-to-end time of one isolated message."""
+        return self.o + self.L + nbytes * self.G
+
+    def predict_stream_rate(self, nbytes: int) -> float:
+        """Steady-state bytes/ns for back-to-back messages."""
+        per_msg = max(self.g, nbytes * self.G)
+        return nbytes / per_msg
+
+    def predict_exchange(self, nbytes: int, n_messages: int) -> float:
+        """Duration of a one-way burst of *n_messages* messages."""
+        per_msg = max(self.g, nbytes * self.G)
+        return self.o + self.L + n_messages * per_msg
+
+
+def extract_logp(
+    src_kind: BufferKind = BufferKind.HOST,
+    dst_kind: BufferKind = BufferKind.HOST,
+    small: int = 128,
+    big: int = 1 << 20,
+    **overrides,
+) -> LogPParameters:
+    """Fit (L, o, g, G) for a buffer combination on a fresh 2-node torus.
+
+    * **o** — the Fig 10 measurement: per-message run time of the
+      bandwidth test at a small size;
+    * **g** — reciprocal of the small-message streaming rate;
+    * **G** — reciprocal of the large-message bandwidth;
+    * **L** — half-RTT minus the sender overhead.
+    """
+    o = sender_gap(src_kind, dst_kind, small, n_messages=32, **overrides)
+    small_bw = unidirectional_bandwidth(
+        src_kind, dst_kind, small, n_messages=48, **overrides
+    ).bandwidth
+    g = small / small_bw
+    big_bw = unidirectional_bandwidth(
+        src_kind, dst_kind, big, n_messages=6, **overrides
+    ).bandwidth
+    G = 1.0 / big_bw
+    half_rtt = pingpong_latency(src_kind, dst_kind, small, **overrides).half_rtt
+    L = max(half_rtt - o, 0.0)
+    return LogPParameters(L=L, o=o, g=g, G=G, msg_size=small)

@@ -1,0 +1,18 @@
+"""MPI-like message passing over the InfiniBand baseline fabric."""
+
+from .comm import EAGER_THRESHOLD, MpiEndpoint, MpiRequest, MpiWorld
+from .gpu_aware import GpuProtocol, MVAPICH2Protocol, OpenMPIProtocol
+from .osu import make_mpi_pair, osu_bandwidth, osu_latency
+
+__all__ = [
+    "MpiWorld",
+    "MpiEndpoint",
+    "MpiRequest",
+    "EAGER_THRESHOLD",
+    "GpuProtocol",
+    "MVAPICH2Protocol",
+    "OpenMPIProtocol",
+    "osu_latency",
+    "osu_bandwidth",
+    "make_mpi_pair",
+]

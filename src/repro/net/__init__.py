@@ -1,0 +1,21 @@
+"""Cluster-level plumbing: torus topology, packets, node composition."""
+
+from .cluster import ApenetCluster, ClusterNode, build_apenet_cluster
+from .collectives import Collective, make_collectives
+from .packet import MAX_PACKET_PAYLOAD, PACKET_HEADER_BYTES, ApePacket, MessageInfo
+from .topology import DIMS, Coord, TorusShape
+
+__all__ = [
+    "TorusShape",
+    "Coord",
+    "DIMS",
+    "ApePacket",
+    "MessageInfo",
+    "PACKET_HEADER_BYTES",
+    "MAX_PACKET_PAYLOAD",
+    "ApenetCluster",
+    "ClusterNode",
+    "build_apenet_cluster",
+    "Collective",
+    "make_collectives",
+]

@@ -1,0 +1,154 @@
+"""Cluster builders: whole multi-node systems in one call.
+
+:func:`build_apenet_cluster` reproduces Cluster I: dual-socket Westmere
+nodes, one Fermi GPU each (all C2050 but one C2070 — kept faithfully), an
+APEnet+ card on PCIe Gen2 x8, nodes arranged in a 3D torus (4×2 for the
+paper's eight nodes).
+
+Each node gets its own PCIe fabric and CUDA runtime; the single global
+:class:`~repro.sim.core.Simulator` ties everything together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..apenet.card import ApenetCard
+    from ..apenet.config import ApenetConfig
+    from ..apenet.rdma import ApenetEndpoint
+    from ..apenet.torus import TorusLink
+
+from ..cuda.runtime import CudaRuntime
+from ..gpu.device import GPUDevice
+from ..gpu.specs import FERMI_2050, FERMI_2070, GPUSpec
+from ..pcie.tlp import LinkParams
+from ..pcie.topology import Platform, plx_platform, westmere_platform
+from ..sim import Simulator
+from .topology import Coord, TorusShape
+
+__all__ = ["ClusterNode", "ApenetCluster", "build_apenet_cluster"]
+
+
+@dataclass
+class ClusterNode:
+    """Everything living on one cluster node."""
+
+    rank: int
+    coord: Coord
+    platform: Platform
+    runtime: CudaRuntime
+    gpus: list[GPUDevice]
+    card: ApenetCard
+    endpoint: ApenetEndpoint
+
+    @property
+    def gpu(self) -> GPUDevice:
+        """The node's (first) GPU."""
+        return self.gpus[0]
+
+
+@dataclass
+class ApenetCluster:
+    """A built torus of APEnet+ nodes."""
+
+    sim: Simulator
+    shape: TorusShape
+    config: ApenetConfig
+    nodes: list[ClusterNode] = field(default_factory=list)
+    links: dict[tuple[int, int, int], TorusLink] = field(default_factory=dict)
+
+    def node(self, rank: int) -> ClusterNode:
+        """The node with linear rank *rank*."""
+        return self.nodes[rank]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def link_utilizations(self) -> dict[str, float]:
+        """Wire busy fraction of every directed torus link (diagnostics)."""
+        return {link.name: link.utilization() for link in self.links.values()}
+
+
+def build_apenet_cluster(
+    sim: Simulator,
+    shape: TorusShape,
+    config: "ApenetConfig" = None,
+    gpu_specs: Optional[list[GPUSpec]] = None,
+    gpus_per_node: int = 1,
+    use_plx: bool = False,
+    cuda_costs=None,
+) -> ApenetCluster:
+    """Build a torus of APEnet+ nodes.
+
+    ``gpu_specs`` — per-rank GPU spec; defaults to the paper's Cluster I
+    (C2050 everywhere except a C2070 on the last rank).
+    ``use_plx`` — put GPU and card behind a PLX switch (the "ideal
+    platform" of Table I) instead of separate root-complex ports.
+    """
+    from ..apenet.card import ApenetCard
+    from ..apenet.config import DEFAULT_CONFIG
+    from ..apenet.rdma import ApenetEndpoint
+    from ..apenet.torus import TorusLink
+
+    if config is None:
+        config = DEFAULT_CONFIG
+    n = shape.size
+    if gpu_specs is None:
+        gpu_specs = [FERMI_2050] * n
+        if n > 1:
+            gpu_specs[n - 1] = FERMI_2070
+    if len(gpu_specs) != n:
+        raise ValueError(f"need {n} GPU specs, got {len(gpu_specs)}")
+
+    cluster = ApenetCluster(sim, shape, config)
+    card_link = LinkParams(gen=config.pcie_gen, lanes=config.pcie_lanes)
+    gpu_link = LinkParams(gen=2, lanes=16)
+
+    for rank, coord in enumerate(shape.coords()):
+        builder = plx_platform if use_plx else westmere_platform
+        plat = builder(sim, name=f"n{rank}")
+        if cuda_costs is not None:
+            runtime = CudaRuntime(sim, plat, costs=cuda_costs, name=f"n{rank}.cuda")
+        else:
+            runtime = CudaRuntime(sim, plat, name=f"n{rank}.cuda")
+        gpus = []
+        for g in range(gpus_per_node):
+            gpu = GPUDevice(sim, f"n{rank}.gpu{g}", gpu_specs[rank], index=g)
+            plat.attach(gpu, "gpu", gpu_link)
+            runtime.add_device(gpu)
+            gpus.append(gpu)
+        card = ApenetCard(sim, f"n{rank}.ape", coord, shape, config)
+        plat.attach(card, "nic", card_link)
+        for gpu in gpus:
+            card.register_gpu(gpu)
+        endpoint = ApenetEndpoint(card, runtime)
+        cluster.nodes.append(
+            ClusterNode(rank, coord, plat, runtime, gpus, card, endpoint)
+        )
+
+    # Enable cross-endpoint operations (RDMA GET needs the peer table).
+    endpoints = [n.endpoint for n in cluster.nodes]
+    for ep in endpoints:
+        ep.link_peers(endpoints)
+
+    # Wire the torus: the (dim, direction) output of each card connects to
+    # the opposite-direction input port of the neighbour.
+    for coord, dim, direction, dst_coord in shape.links():
+        src = cluster.nodes[shape.rank(coord)]
+        dst = cluster.nodes[shape.rank(dst_coord)]
+        port = dst.card.router.port(dim, -direction)
+        link = TorusLink(
+            sim,
+            config.link_bandwidth,
+            config.link_latency,
+            port,
+            name=f"{src.card.name}->{dst.card.name}[{dim},{direction:+d}]",
+        )
+        src.card.router.wire(dim, direction, link)
+        cluster.links[(src.rank, dim, direction)] = link
+
+    return cluster

@@ -1,0 +1,236 @@
+"""Collective operations over the APEnet+ RDMA API.
+
+The paper's applications hand-roll their collectives (halo exchanges in
+HSG, count+data all-to-alls and termination reductions in BFS).  This
+module factors the recurring patterns into a small reusable library a
+downstream user would expect:
+
+* :class:`Collective` — a per-rank handle bound to a cluster, with
+  pre-registered scratch buffers;
+* :meth:`barrier` — linear fan-in/fan-out through rank 0;
+* :meth:`broadcast` — binomial tree;
+* :meth:`allreduce` — reduce-to-root + broadcast of a Python value;
+* :meth:`alltoallv` — the BFS pattern: per-peer byte counts first, then
+  exactly-sized payloads;
+* :meth:`ring_exchange` — the HSG pattern: simultaneous send to both ring
+  neighbours, wait for both arrivals.
+
+All operations are generators (``yield from``) and must be invoked
+collectively (every rank calls with matching ``tag``).  Payloads may be
+``None`` (timing-only) or numpy byte arrays (moved for real through the
+simulated network).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..apenet.buflist import BufferKind
+from ..sim import Event
+from ..units import us
+from .cluster import ApenetCluster
+
+__all__ = ["Collective", "make_collectives"]
+
+
+class Collective:
+    """Per-rank collective-operations handle."""
+
+    def __init__(self, cluster: ApenetCluster, rank: int, scratch_bytes: int = 1 << 20):
+        self.cluster = cluster
+        self.rank = rank
+        self.node = cluster.nodes[rank]
+        self.sim = cluster.sim
+        self.n = len(cluster)
+        self.scratch_bytes = scratch_bytes
+        rt = self.node.runtime
+        # Per-peer landing zones + send staging, all host memory.
+        self._recv = {
+            p: rt.host_alloc(scratch_bytes) for p in range(self.n) if p != rank
+        }
+        self._send = {
+            p: rt.host_alloc(scratch_bytes) for p in range(self.n) if p != rank
+        }
+        self._ctrl = rt.host_alloc(64 * max(self.n, 1))
+        self._registered = False
+        self._deferred: list = []
+        self._peers: list["Collective"] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _link(self, peers: list["Collective"]) -> None:
+        self._peers = peers
+
+    def setup(self):
+        """Generator: register all landing zones (call once per rank)."""
+        ep = self.node.endpoint
+        for buf in self._recv.values():
+            yield from ep.register(buf.addr, buf.size)
+        yield from ep.register(self._ctrl.addr, self._ctrl.size)
+        self._registered = True
+        yield self.sim.timeout(us(10))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _wait(self, pred):
+        """Generator: next completion matching *pred* (others deferred)."""
+        for i, rec in enumerate(self._deferred):
+            if pred(rec.tag):
+                return self._deferred.pop(i)
+        ep = self.node.endpoint
+        while True:
+            rec = yield from ep.wait_event()
+            if pred(rec.tag):
+                return rec
+            self._deferred.append(rec)
+
+    def _put(self, dst: int, data: Optional[np.ndarray], nbytes: int, tag: Any):
+        """Generator: stage + PUT *nbytes* to peer *dst*'s landing zone."""
+        if nbytes > self.scratch_bytes:
+            raise ValueError(
+                f"collective payload {nbytes} exceeds scratch {self.scratch_bytes}"
+            )
+        ep = self.node.endpoint
+        peer = self._peers[dst]
+        control = data is None and nbytes <= 64
+        if control:
+            dst_addr = peer._ctrl.addr + self.rank * 64
+            src_addr = self._ctrl.addr
+        else:
+            staging = self._send[dst]
+            if data is not None:
+                staging.data[:nbytes] = data[:nbytes]
+            dst_addr = peer._recv[self.rank].addr
+            src_addr = staging.addr
+        done = yield from ep.put(
+            dst, src_addr, dst_addr, max(nbytes, 1), src_kind=BufferKind.HOST, tag=tag
+        )
+        return done
+
+    def _recv_payload(self, src: int, nbytes: int) -> np.ndarray:
+        return np.array(self._recv[src].data[:nbytes])
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+
+    def barrier(self, tag: Any = "bar"):
+        """Generator: no rank leaves before every rank has entered."""
+        if self.n == 1:
+            return
+        if self.rank == 0:
+            for _ in range(self.n - 1):
+                yield from self._wait(lambda t: t == (tag, "in"))
+            for peer in range(1, self.n):
+                yield from self._put(peer, None, 1, (tag, "out"))
+        else:
+            yield from self._put(0, None, 1, (tag, "in"))
+            yield from self._wait(lambda t: t == (tag, "out"))
+
+    def broadcast(self, value: Any, root: int = 0, tag: Any = "bc"):
+        """Generator: binomial-tree broadcast of a small Python value.
+
+        The value itself travels through an in-process side channel (it is
+        control-plane data); the 64-byte control messages pay the real
+        network cost.
+        """
+        vrank = (self.rank - root) % self.n
+        mask = 1
+        key = ("bcast", tag)
+        if not hasattr(self, "_boxes"):
+            self._boxes: dict = {}
+        if vrank == 0:
+            self._boxes[key] = value
+        while mask < self.n:
+            if vrank < mask:
+                partner = vrank + mask
+                if partner < self.n:
+                    actual = (partner + root) % self.n
+                    peer = self._peers[actual]
+                    if not hasattr(peer, "_boxes"):
+                        peer._boxes = {}
+                    peer._boxes[key] = self._boxes[key]
+                    yield from self._put(actual, None, 1, (tag, "bc", mask))
+            elif vrank < 2 * mask:
+                yield from self._wait(lambda t: t == (tag, "bc", mask))
+            mask <<= 1
+        return self._boxes.pop(key)
+
+    def allreduce(self, value, op=None, tag: Any = "ar"):
+        """Generator: reduce a Python value with *op* (default +) to all."""
+        import operator
+
+        op = op or operator.add
+        if self.n == 1:
+            return value
+        if self.rank == 0:
+            acc = value
+            for _ in range(self.n - 1):
+                rec = yield from self._wait(lambda t: t[:2] == (tag, "v"))
+                acc = op(acc, rec.tag[2])
+            result = yield from self.broadcast(acc, root=0, tag=(tag, "res"))
+            return result
+        yield from self._put(0, None, 1, (tag, "v", value))
+        result = yield from self.broadcast(None, root=0, tag=(tag, "res"))
+        return result
+
+    def alltoallv(self, payloads: dict[int, Optional[np.ndarray]], sizes: dict[int, int], tag: Any = "a2a"):
+        """Generator: exchange per-peer byte buffers; returns {src: bytes}.
+
+        ``sizes[p]`` is the byte count for peer ``p`` (payloads may be
+        None for timing-only runs, in which case the returned arrays are
+        zero-filled of the right length).
+        """
+        # Phase 1: counts.
+        for peer, nbytes in sizes.items():
+            yield from self._put(peer, None, 1, (tag, "cnt", self.rank, nbytes))
+        counts: dict[int, int] = {}
+        while len(counts) < self.n - 1:
+            rec = yield from self._wait(lambda t: t[:2] == (tag, "cnt"))
+            counts[rec.tag[2]] = rec.tag[3]
+        # Phase 2: data.
+        for peer, nbytes in sizes.items():
+            if nbytes > 0:
+                yield from self._put(
+                    peer, payloads.get(peer), nbytes, (tag, "data", self.rank)
+                )
+        got: set[int] = set()
+        need = {p for p, n in counts.items() if n > 0}
+        while got < need:
+            rec = yield from self._wait(lambda t: t[:2] == (tag, "data"))
+            got.add(rec.tag[2])
+        out = {}
+        for p, n in counts.items():
+            out[p] = self._recv_payload(p, n) if n > 0 else np.empty(0, dtype=np.uint8)
+        return out
+
+    def ring_exchange(self, down_data, up_data, nbytes: int, tag: Any = "halo"):
+        """Generator: simultaneous exchange with both ring neighbours.
+
+        Sends *down_data* to rank-1 and *up_data* to rank+1; returns
+        (from_down, from_up) byte arrays.  The HSG halo pattern.
+        """
+        if self.n == 1:
+            raise ValueError("ring exchange needs at least two ranks")
+        down = (self.rank - 1) % self.n
+        up = (self.rank + 1) % self.n
+        yield from self._put(down, down_data, nbytes, (tag, "d", self.rank))
+        yield from self._put(up, up_data, nbytes, (tag, "u", self.rank))
+        # Expect one message from each neighbour.
+        yield from self._wait(lambda t: t == (tag, "u", down))
+        yield from self._wait(lambda t: t == (tag, "d", up))
+        return self._recv_payload(down, nbytes), self._recv_payload(up, nbytes)
+
+
+def make_collectives(cluster: ApenetCluster, scratch_bytes: int = 1 << 20) -> list[Collective]:
+    """One linked :class:`Collective` per rank."""
+    handles = [Collective(cluster, r, scratch_bytes) for r in range(len(cluster))]
+    for h in handles:
+        h._link(handles)
+    return handles

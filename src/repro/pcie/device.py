@@ -1,0 +1,162 @@
+"""PCIe endpoint base class and target-side behaviour descriptors.
+
+A device participates in the fabric in two roles:
+
+* **initiator** — it calls :meth:`repro.pcie.fabric.PCIeFabric.write` /
+  :meth:`~repro.pcie.fabric.PCIeFabric.read` against remote addresses;
+* **target** — the fabric consults :meth:`PCIeDevice.describe_read` /
+  :meth:`PCIeDevice.describe_write` for the address being accessed and
+  applies the returned :class:`ReadBehavior` / :class:`WriteBehavior`
+  (first-access latency, sustained-rate limiter, delivery hook).
+
+Behaviour objects are *shared* across transactions so that a single
+:class:`~repro.sim.channel.RateLimiter` naturally serializes concurrent
+accesses to the same internal engine (e.g. a GPU's BAR1 read path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim import Channel, RateLimiter, Simulator
+
+__all__ = ["ReadBehavior", "WriteBehavior", "AddressWindow", "PCIeDevice", "HostMemory"]
+
+
+@dataclass
+class ReadBehavior:
+    """How a device serves inbound memory-read requests.
+
+    ``latency`` — time from request arrival to first completion data
+    (device-internal; link traversal is added by the fabric).
+    ``limiter`` — optional shared rate limiter bounding sustained completion
+    production (None = only the link limits).
+    """
+
+    latency: float
+    limiter: Optional[RateLimiter] = None
+
+
+@dataclass
+class WriteBehavior:
+    """How a device absorbs inbound posted writes.
+
+    ``limiter`` — optional shared sink-rate limiter.
+    ``on_write`` — called as ``on_write(addr, nbytes, payload)`` when the
+    last TLP of a write transaction arrives (payload rides on that TLP).
+    """
+
+    limiter: Optional[RateLimiter] = None
+    on_write: Optional[Callable[[int, int, Any], None]] = None
+
+
+@dataclass
+class AddressWindow:
+    """One BAR-like address range owned by a device."""
+
+    base: int
+    size: int
+    label: str = ""
+
+    @property
+    def limit(self) -> int:
+        """One past the last byte of the window."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True if *addr* falls inside the window."""
+        return self.base <= addr < self.limit
+
+
+class PCIeDevice:
+    """Base class for anything that plugs into the fabric.
+
+    Subclasses override :meth:`describe_read` / :meth:`describe_write` to
+    give per-window behaviour, and may use ``self.fabric`` (set on attach)
+    to initiate transactions.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.windows: list[AddressWindow] = []
+        self.fabric = None  # set by PCIeFabric.add_endpoint
+        self.node = None  # fabric node, set on attach
+
+    def add_window(self, base: int, size: int, label: str = "") -> AddressWindow:
+        """Register an address window owned by this device."""
+        win = AddressWindow(base, size, label)
+        for existing in self.windows:
+            if not (win.limit <= existing.base or existing.limit <= win.base):
+                raise ValueError(
+                    f"{self.name}: window {label!r} overlaps {existing.label!r}"
+                )
+        self.windows.append(win)
+        if self.fabric is not None:
+            self.fabric.index_window(self, win)
+        return win
+
+    def window_for(self, addr: int) -> AddressWindow:
+        """The window containing *addr* (raises KeyError if none)."""
+        for win in self.windows:
+            if win.contains(addr):
+                return win
+        raise KeyError(f"{self.name}: address 0x{addr:x} not in any window")
+
+    # -- target-side hooks ---------------------------------------------------
+
+    def describe_read(self, addr: int) -> ReadBehavior:
+        """Behaviour for an inbound read at *addr*."""
+        raise NotImplementedError(f"{self.name} does not serve reads")
+
+    def describe_write(self, addr: int) -> WriteBehavior:
+        """Behaviour for an inbound write at *addr*."""
+        raise NotImplementedError(f"{self.name} does not accept writes")
+
+
+class HostMemory(PCIeDevice):
+    """System DRAM behind the root complex.
+
+    Served through the memory controller: modest first-access latency and a
+    rate limiter representing achievable DMA bandwidth to DRAM (generous on
+    the Westmere platforms — the bottlenecks in the paper are elsewhere).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base: int = 0x0,
+        size: int = 1 << 36,
+        read_latency: float = 150.0,
+        write_rate: float = 12.8,
+        read_rate: float = 12.8,
+        name: str = "host-memory",
+    ):
+        super().__init__(sim, name)
+        self.add_window(base, size, "dram")
+        self._read = ReadBehavior(
+            latency=read_latency, limiter=RateLimiter(sim, read_rate, f"{name}.rd")
+        )
+        self._write = WriteBehavior(
+            limiter=RateLimiter(sim, write_rate, f"{name}.wr"), on_write=self._deliver
+        )
+        # Observable delivery log for data-carrying tests: (addr, nbytes, payload)
+        self.write_log: list[tuple[int, int, Any]] = []
+        self.log_writes = False
+        # Higher layers (e.g. the CUDA runtime's host-buffer heap) register
+        # hooks to receive data-carrying writes into their address ranges.
+        self.delivery_hooks: list[Callable[[int, int, Any], None]] = []
+
+    def _deliver(self, addr: int, nbytes: int, payload: Any) -> None:
+        if self.log_writes:
+            self.write_log.append((addr, nbytes, payload))
+        if payload is not None:
+            for hook in self.delivery_hooks:
+                hook(addr, nbytes, payload)
+
+    def describe_read(self, addr: int) -> ReadBehavior:
+        return self._read
+
+    def describe_write(self, addr: int) -> WriteBehavior:
+        return self._write

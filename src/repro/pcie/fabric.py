@@ -1,0 +1,465 @@
+"""The PCIe fabric: topology, routing, and split-transaction engines.
+
+The fabric is a tree (root complex at the top, switches below, endpoints at
+the leaves — a dual-socket platform is modelled as a virtual top node whose
+children are the two root complexes joined by QPI-latency links).  Each edge
+is a full-duplex pair of :class:`~repro.sim.channel.Channel` objects sized
+from :class:`~repro.pcie.tlp.LinkParams`.
+
+Transactions:
+
+* :meth:`PCIeFabric.write` — posted write.  Payload is fragmented into
+  *quanta* (default 4 KiB of payload, i.e. a batch of MPS-sized TLPs whose
+  summed wire overhead is accounted exactly); quanta pipeline hop by hop.
+  The returned event fires when the last quantum has been absorbed by the
+  target (including the target's sink rate limiter).
+* :meth:`PCIeFabric.read` — one split transaction (request ≤ MRRS): a
+  header-only MRd travels to the target, waits the target's first-access
+  latency and rate limiter, and MPS-chunked completions travel back.  The
+  event fires when the last completion lands at the initiator.
+* :meth:`PCIeFabric.read_pipelined` — a windowed initiator issuing many
+  MRRS-sized requests with a bounded number outstanding (how real DMA
+  engines achieve bandwidth despite the read round-trip).
+
+Timing only: reads do not move Python data (the simulation gives callers
+global visibility of memory objects); writes may carry an opaque payload
+delivered to the target's ``on_write`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..sim import Channel, Event, SimulationError, Simulator
+from .device import PCIeDevice, ReadBehavior, WriteBehavior
+from .tlp import (
+    DEFAULT_MPS,
+    DEFAULT_MRRS,
+    LinkParams,
+    Tlp,
+    TlpKind,
+    fragment,
+    tlp_overhead,
+)
+
+__all__ = ["PCIeFabric", "FabricNode", "FabricLink", "TransferRecord"]
+
+
+@dataclass
+class TransferRecord:
+    """One observed link crossing (fed to bus-analyzer taps)."""
+
+    time: float
+    kind: TlpKind
+    addr: int
+    payload_bytes: int
+    wire_bytes: int
+    direction: str  # "up" (toward root) or "down"
+    requester: str
+
+
+class FabricLink:
+    """Full-duplex edge between a node and its parent."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        child: "FabricNode",
+        parent: "FabricNode",
+        params: LinkParams,
+        latency: float,
+    ):
+        bw = params.effective_bandwidth
+        self.params = params
+        self.child = child
+        self.parent = parent
+        # "up" carries traffic toward the root, "down" away from it.
+        self.up = Channel(sim, bw, latency, name=f"{child.name}->{parent.name}")
+        self.down = Channel(sim, bw, latency, name=f"{parent.name}->{child.name}")
+        self.taps: list[Callable[[TransferRecord], None]] = []
+
+    def channel(self, direction: str) -> Channel:
+        """The channel for *direction* ('up' or 'down')."""
+        return self.up if direction == "up" else self.down
+
+    def notify(self, rec: TransferRecord) -> None:
+        """Feed *rec* to any attached analyzer taps."""
+        for tap in self.taps:
+            tap(rec)
+
+
+class FabricNode:
+    """A position in the tree: root complex, switch, or endpoint slot."""
+
+    def __init__(self, name: str, kind: str, parent: Optional["FabricNode"]):
+        self.name = name
+        self.kind = kind  # "root" | "switch" | "endpoint"
+        self.parent = parent
+        self.uplink: Optional[FabricLink] = None
+        self.device: Optional[PCIeDevice] = None
+        self.depth = 0 if parent is None else parent.depth + 1
+
+    def ancestors(self) -> list["FabricNode"]:
+        """This node and all its ancestors, leaf-first."""
+        chain = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            chain.append(node)
+        return chain
+
+
+class PCIeFabric:
+    """A tree of PCIe links with address-routed split transactions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mps: int = DEFAULT_MPS,
+        mrrs: int = DEFAULT_MRRS,
+        write_quantum: int = 4096,
+    ):
+        self.sim = sim
+        self.mps = mps
+        self.mrrs = mrrs
+        self.write_quantum = write_quantum
+        self.nodes: dict[str, FabricNode] = {}
+        self.root: Optional[FabricNode] = None
+        # Address index: sorted list of (base, limit, device).
+        self._windows: list[tuple[int, int, PCIeDevice]] = []
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_root(self, name: str = "root-complex") -> FabricNode:
+        """Create the tree root (exactly one per fabric)."""
+        if self.root is not None:
+            raise SimulationError("fabric already has a root")
+        node = FabricNode(name, "root", None)
+        self.root = node
+        self.nodes[name] = node
+        return node
+
+    def _attach(
+        self,
+        name: str,
+        kind: str,
+        parent: FabricNode,
+        link: LinkParams,
+        latency: float,
+    ) -> FabricNode:
+        if name in self.nodes:
+            raise SimulationError(f"duplicate fabric node name {name!r}")
+        node = FabricNode(name, kind, parent)
+        node.uplink = FabricLink(self.sim, node, parent, link, latency)
+        self.nodes[name] = node
+        return node
+
+    def add_switch(
+        self,
+        name: str,
+        parent: FabricNode,
+        link: LinkParams = LinkParams(gen=2, lanes=16),
+        latency: float = 150.0,
+    ) -> FabricNode:
+        """Attach a switch (e.g. a PLX) below *parent*."""
+        return self._attach(name, "switch", parent, link, latency)
+
+    def add_endpoint(
+        self,
+        device: PCIeDevice,
+        parent: FabricNode,
+        link: LinkParams = LinkParams(gen=2, lanes=8),
+        latency: float = 150.0,
+    ) -> FabricNode:
+        """Attach *device* below *parent* and index its address windows."""
+        node = self._attach(device.name, "endpoint", parent, link, latency)
+        node.device = device
+        device.fabric = self
+        device.node = node
+        for win in device.windows:
+            self.index_window(device, win)
+        return node
+
+    def index_window(self, device: PCIeDevice, win) -> None:
+        """Register an address window for routing."""
+        for base, limit, dev in self._windows:
+            if not (win.limit <= base or limit <= win.base):
+                raise SimulationError(
+                    f"window clash: {device.name} [{win.base:#x},{win.limit:#x}) "
+                    f"overlaps {dev.name}"
+                )
+        self._windows.append((win.base, win.limit, device))
+        self._windows.sort()
+
+    def resolve(self, addr: int) -> PCIeDevice:
+        """The device owning *addr*."""
+        for base, limit, dev in self._windows:
+            if base <= addr < limit:
+                return dev
+        raise SimulationError(f"address 0x{addr:x} does not route anywhere")
+
+    def link_of(self, name: str) -> FabricLink:
+        """The uplink of node *name* (for analyzer attachment)."""
+        node = self.nodes[name]
+        if node.uplink is None:
+            raise SimulationError(f"{name} is the root; it has no uplink")
+        return node.uplink
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def path(
+        self, src: FabricNode, dst: FabricNode
+    ) -> list[tuple[FabricLink, str]]:
+        """The ordered (link, direction) hops from *src* to *dst*."""
+        if src is dst:
+            return []
+        src_chain = src.ancestors()
+        dst_chain = dst.ancestors()
+        dst_set = {id(n): i for i, n in enumerate(dst_chain)}
+        hops: list[tuple[FabricLink, str]] = []
+        # Climb from src until we hit a node on dst's ancestor chain.
+        meet_idx = None
+        for node in src_chain:
+            if id(node) in dst_set:
+                meet_idx = dst_set[id(node)]
+                break
+            hops.append((node.uplink, "up"))
+        if meet_idx is None:
+            raise SimulationError(f"no path {src.name} -> {dst.name}")
+        # Descend from the meeting point to dst.
+        down = [(n.uplink, "down") for n in dst_chain[:meet_idx]]
+        hops.extend(reversed(down))
+        return hops
+
+    def _device_node(self, device: PCIeDevice) -> FabricNode:
+        if device.node is None:
+            raise SimulationError(f"{device.name} is not attached to the fabric")
+        return device.node
+
+    # ------------------------------------------------------------------
+    # Posted writes
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        initiator: PCIeDevice,
+        addr: int,
+        nbytes: int,
+        payload: Any = None,
+        quantum: Optional[int] = None,
+    ) -> Event:
+        """Posted write of *nbytes* to *addr*; fires on target absorption."""
+        if nbytes <= 0:
+            raise SimulationError("write needs a positive size")
+        target = self.resolve(addr)
+        behavior = target.describe_write(addr)
+        hops = self.path(self._device_node(initiator), self._device_node(target))
+        q = quantum or self.write_quantum
+        done = Event(self.sim)
+        self.sim.process(
+            self._write_proc(initiator, addr, nbytes, payload, behavior, hops, q, done),
+            name=f"wr:{initiator.name}->0x{addr:x}",
+        )
+        return done
+
+    def _wire_bytes_for_write(self, addr: int, nbytes: int) -> int:
+        # TLP count == number of MPS-aligned boundaries the range touches.
+        n_tlps = (addr + nbytes - 1) // self.mps - addr // self.mps + 1
+        return nbytes + n_tlps * tlp_overhead(TlpKind.MEM_WRITE)
+
+    def _write_proc(self, initiator, addr, nbytes, payload, behavior, hops, q, done):
+        # Split into quanta that pipeline across hops.  The producer issues
+        # each quantum's FIRST hop inline so that competing initiators
+        # interleave fairly at shared links; the remaining hops run in a
+        # detached sub-process, giving store-and-forward pipelining.
+        quanta = list(fragment(addr, nbytes, max(q, self.mps)))
+        state = {"left": len(quanta)}
+
+        def _count(ev):
+            state["left"] -= 1
+            if state["left"] == 0:
+                done.succeed(nbytes)
+
+        for i, (qaddr, qsize) in enumerate(quanta):
+            wire = self._wire_bytes_for_write(qaddr, qsize)
+            is_last = i == len(quanta) - 1
+            if hops:
+                first_link, first_dir = hops[0]
+                first_link.notify(
+                    TransferRecord(
+                        self.sim.now,
+                        TlpKind.MEM_WRITE,
+                        qaddr,
+                        qsize,
+                        wire,
+                        first_dir,
+                        initiator.name,
+                    )
+                )
+                yield first_link.channel(first_dir).transfer(wire)
+            ev = Event(self.sim)
+            ev.callbacks.append(_count)
+            # The full payload is delivered once, with the whole write's base
+            # address and size, when the final quantum is absorbed.
+            delivery = (addr, nbytes, payload) if is_last else None
+            self.sim.process(
+                self._quantum_rest_proc(
+                    initiator,
+                    qaddr,
+                    qsize,
+                    wire,
+                    delivery,
+                    behavior,
+                    hops[1:],
+                    ev,
+                ),
+            )
+
+    def _quantum_rest_proc(
+        self, initiator, addr, nbytes, wire, delivery, behavior, hops, done
+    ):
+        for link, direction in hops:
+            ch = link.channel(direction)
+            link.notify(
+                TransferRecord(
+                    self.sim.now,
+                    TlpKind.MEM_WRITE,
+                    addr,
+                    nbytes,
+                    wire,
+                    direction,
+                    initiator.name,
+                )
+            )
+            yield ch.transfer(wire)
+        if behavior.limiter is not None:
+            yield behavior.limiter.consume(nbytes)
+        if delivery is not None and behavior.on_write is not None:
+            base_addr, total_nbytes, payload = delivery
+            behavior.on_write(base_addr, total_nbytes, payload)
+        done.succeed(nbytes)
+
+    # ------------------------------------------------------------------
+    # Split-transaction reads
+    # ------------------------------------------------------------------
+
+    def read(self, initiator: PCIeDevice, addr: int, nbytes: int) -> Event:
+        """One split-transaction read (≤ MRRS); fires when data is back."""
+        if nbytes <= 0:
+            raise SimulationError("read needs a positive size")
+        if nbytes > self.mrrs:
+            raise SimulationError(
+                f"read of {nbytes} exceeds MRRS {self.mrrs}; "
+                "use read_pipelined for bulk transfers"
+            )
+        target = self.resolve(addr)
+        behavior = target.describe_read(addr)
+        fwd = self.path(self._device_node(initiator), self._device_node(target))
+        rev = self.path(self._device_node(target), self._device_node(initiator))
+        done = Event(self.sim)
+        self.sim.process(
+            self._read_proc(initiator, addr, nbytes, behavior, fwd, rev, done),
+            name=f"rd:{initiator.name}<-0x{addr:x}",
+        )
+        return done
+
+    def _read_proc(self, initiator, addr, nbytes, behavior, fwd, rev, done):
+        req_wire = tlp_overhead(TlpKind.MEM_READ)
+        for link, direction in fwd:
+            ch = link.channel(direction)
+            link.notify(
+                TransferRecord(
+                    self.sim.now,
+                    TlpKind.MEM_READ,
+                    addr,
+                    nbytes,
+                    req_wire,
+                    direction,
+                    initiator.name,
+                )
+            )
+            yield ch.transfer(req_wire)
+        # Target first-access latency, then sustained-rate pacing.
+        if behavior.latency > 0:
+            yield self.sim.timeout(behavior.latency)
+        if behavior.limiter is not None:
+            yield behavior.limiter.consume(nbytes)
+        n_cpl = sum(1 for _ in fragment(addr, nbytes, self.mps))
+        cpl_wire = nbytes + n_cpl * tlp_overhead(TlpKind.COMPLETION)
+        for link, direction in rev:
+            ch = link.channel(direction)
+            link.notify(
+                TransferRecord(
+                    self.sim.now,
+                    TlpKind.COMPLETION,
+                    addr,
+                    nbytes,
+                    cpl_wire,
+                    direction,
+                    initiator.name,
+                )
+            )
+            yield ch.transfer(cpl_wire)
+        done.succeed(nbytes)
+
+    def read_pipelined(
+        self,
+        initiator: PCIeDevice,
+        addr: int,
+        nbytes: int,
+        outstanding: int = 4,
+        request_size: Optional[int] = None,
+        on_data: Optional[Callable[[int, int], None]] = None,
+    ) -> Event:
+        """Windowed bulk read: many MRRS-sized requests, bounded in flight.
+
+        ``on_data(chunk_addr, chunk_size)`` runs as each chunk's completions
+        arrive (used by DMA engines to forward data onward).  The returned
+        event fires when the final chunk lands.
+        """
+        if outstanding < 1:
+            raise SimulationError("need at least one outstanding request")
+        rs = request_size or self.mrrs
+        if rs > self.mrrs:
+            raise SimulationError(f"request_size {rs} exceeds MRRS {self.mrrs}")
+        done = Event(self.sim)
+        self.sim.process(
+            self._read_pipelined_proc(initiator, addr, nbytes, outstanding, rs, on_data, done),
+            name=f"rdpipe:{initiator.name}",
+        )
+        return done
+
+    def _read_pipelined_proc(self, initiator, addr, nbytes, outstanding, rs, on_data, done):
+        chunks = list(fragment(addr, nbytes, rs))
+        in_flight: list[Event] = []
+        completed = {"n": 0}
+        total = len(chunks)
+
+        def _make_cb(caddr, csize):
+            def _cb(ev):
+                completed["n"] += 1
+                if on_data is not None:
+                    on_data(caddr, csize)
+                if completed["n"] == total:
+                    done.succeed(nbytes)
+
+            return _cb
+
+        for caddr, csize in chunks:
+            # Respect the window: wait for the oldest request to finish.
+            while len(in_flight) >= outstanding:
+                oldest = in_flight.pop(0)
+                if not oldest.processed:
+                    yield oldest
+            ev = self.read(initiator, caddr, csize)
+            ev.callbacks.append(_make_cb(caddr, csize))
+            in_flight.append(ev)
+        # Drain.
+        for ev in in_flight:
+            if not ev.processed:
+                yield ev

@@ -1,0 +1,174 @@
+"""PCI Express transaction-layer packet (TLP) framing math.
+
+The simulation works at TLP granularity.  Per-TLP wire overhead for a Gen2
+link (values in bytes):
+
+* physical framing (STP + END) ............ 2
+* DLL sequence number ..................... 2
+* LCRC .................................... 4
+* TLP header .............................. 12 (3DW) or 16 (4DW, 64-bit addr)
+
+Memory writes/reads targeting 64-bit addresses use 4DW headers (the paper's
+UVA buffers live above 4 GiB); completions use 3DW headers.  ECRC is not
+modelled.  DLLP traffic (ACK/NAK, flow-control updates) is folded into a
+configurable link-efficiency factor on the link bandwidth rather than being
+simulated per-DLLP.
+
+Fragmentation rules:
+
+* posted writes are split at the Max Payload Size (MPS) boundary,
+* read requests are split at the Max Read Request Size (MRRS) boundary,
+* completions for one request are split at the Read Completion Boundary
+  (RCB); we use MPS for completion chunking, which matches observed
+  behaviour on the PLX-based platforms the paper used.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "TlpKind",
+    "Tlp",
+    "FRAMING_OVERHEAD",
+    "HEADER_3DW",
+    "HEADER_4DW",
+    "tlp_overhead",
+    "wire_size",
+    "fragment",
+    "write_efficiency",
+    "DEFAULT_MPS",
+    "DEFAULT_MRRS",
+]
+
+# Per-TLP fixed overheads (bytes).
+FRAMING_OVERHEAD = 2 + 2 + 4  # STP/END + seqnum + LCRC
+HEADER_3DW = 12
+HEADER_4DW = 16
+
+# Typical Gen2 platform settings (SuperMicro/Westmere per the paper).
+DEFAULT_MPS = 256  # Max Payload Size
+DEFAULT_MRRS = 512  # Max Read Request Size
+
+
+class TlpKind(enum.Enum):
+    """The TLP types the simulation distinguishes."""
+
+    MEM_WRITE = "MWr"  # posted write, carries payload
+    MEM_READ = "MRd"  # non-posted read request, header only
+    COMPLETION = "CplD"  # completion with data
+    MESSAGE = "Msg"  # vendor/control message, header only
+
+
+_HEADER_BYTES = {
+    TlpKind.MEM_WRITE: HEADER_4DW,
+    TlpKind.MEM_READ: HEADER_4DW,
+    TlpKind.COMPLETION: HEADER_3DW,
+    TlpKind.MESSAGE: HEADER_4DW,
+}
+
+
+def tlp_overhead(kind: TlpKind) -> int:
+    """Fixed wire overhead (bytes) for a TLP of *kind*."""
+    return FRAMING_OVERHEAD + _HEADER_BYTES[kind]
+
+
+def wire_size(kind: TlpKind, payload_bytes: int) -> int:
+    """Total bytes a TLP occupies on the link."""
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    if kind in (TlpKind.MEM_READ, TlpKind.MESSAGE) and payload_bytes:
+        raise ValueError(f"{kind.value} TLPs carry no payload")
+    return tlp_overhead(kind) + payload_bytes
+
+
+_seq_counter = 0
+
+
+def _next_seq() -> int:
+    global _seq_counter
+    _seq_counter += 1
+    return _seq_counter
+
+
+@dataclass
+class Tlp:
+    """One transaction-layer packet in flight.
+
+    ``payload`` is an optional Python object riding along for data-carrying
+    simulations (delivered to the target's write hook on arrival); it does
+    not affect timing — only ``nbytes`` does.
+    """
+
+    kind: TlpKind
+    addr: int
+    nbytes: int  # payload bytes (request size for MEM_READ)
+    requester: str = ""
+    tag: int = field(default_factory=_next_seq)
+    payload: Any = None
+
+    @property
+    def size(self) -> int:
+        """Wire footprint in bytes (for FIFO/channel accounting)."""
+        if self.kind == TlpKind.MEM_READ:
+            return tlp_overhead(self.kind)
+        return wire_size(self.kind, self.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tlp({self.kind.value} addr=0x{self.addr:x} n={self.nbytes} "
+            f"tag={self.tag})"
+        )
+
+
+def fragment(addr: int, nbytes: int, boundary: int) -> Iterator[tuple[int, int]]:
+    """Split [addr, addr+nbytes) into naturally-aligned chunks.
+
+    PCIe requires transactions not to cross the MPS/MRRS boundary from an
+    aligned grid, so the first chunk may be short.  Yields (addr, size).
+    """
+    if nbytes < 0:
+        raise ValueError("negative size")
+    if boundary <= 0 or boundary & (boundary - 1):
+        raise ValueError(f"boundary {boundary} must be a positive power of two")
+    end = addr + nbytes
+    cur = addr
+    while cur < end:
+        next_boundary = (cur // boundary + 1) * boundary
+        chunk_end = min(end, next_boundary)
+        yield cur, chunk_end - cur
+        cur = chunk_end
+
+
+def write_efficiency(mps: int = DEFAULT_MPS) -> float:
+    """Payload fraction of wire bytes for back-to-back max-size writes."""
+    return mps / wire_size(TlpKind.MEM_WRITE, mps)
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Electrical parameters of one PCIe link."""
+
+    gen: int = 2
+    lanes: int = 8
+    # Fraction of raw bandwidth left after DLLP (ACK/FC) traffic.
+    dllp_efficiency: float = 0.95
+
+    # Data rate per lane after 8b/10b (Gen1/2) or 128b/130b (Gen3), bytes/ns.
+    _PER_LANE = {1: 0.25, 2: 0.5, 3: 0.985}
+
+    @property
+    def raw_bandwidth(self) -> float:
+        """Raw post-encoding bandwidth in bytes/ns (== GB/s)."""
+        try:
+            per_lane = self._PER_LANE[self.gen]
+        except KeyError:
+            raise ValueError(f"unsupported PCIe gen {self.gen}") from None
+        return per_lane * self.lanes
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth available to TLPs after DLLP overhead, bytes/ns."""
+        return self.raw_bandwidth * self.dllp_efficiency

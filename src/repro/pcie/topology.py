@@ -1,0 +1,122 @@
+"""Standard platform topologies used by the paper's test systems.
+
+* :func:`plx_platform` — the "ideal platform" (Table I footnote): the GPU
+  and the NIC hang off the same PLX PCIe switch, one hop apart.
+* :func:`westmere_platform` — GPU and NIC on different root-complex ports
+  (the common Cluster I arrangement): traffic crosses the chipset.
+* :func:`dual_socket_platform` — two root complexes joined by QPI, with the
+  GPU and NIC on different sockets: the pathological Sandy Bridge case the
+  paper warns about (§III.A).
+
+Each builder returns a :class:`Platform` handle exposing the fabric, the
+host memory device, and named attachment points for GPUs and NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Simulator
+from .device import HostMemory, PCIeDevice
+from .fabric import FabricNode, PCIeFabric
+from .tlp import LinkParams
+
+__all__ = ["Platform", "plx_platform", "westmere_platform", "dual_socket_platform"]
+
+
+@dataclass
+class Platform:
+    """A built host platform: fabric + host memory + attachment points."""
+
+    sim: Simulator
+    fabric: PCIeFabric
+    host_memory: HostMemory
+    # Where to plug accelerators / NICs (builder-specific semantics).
+    slots: dict[str, FabricNode] = field(default_factory=dict)
+
+    def attach(
+        self,
+        device: PCIeDevice,
+        slot: str,
+        link: LinkParams = LinkParams(gen=2, lanes=8),
+        latency: float = None,
+    ) -> FabricNode:
+        """Plug *device* into the named slot.
+
+        When *latency* is omitted it follows the slot's silicon: a PLX
+        switch forwards in ~110 ns, a root-complex port in ~300 ns — the
+        platform difference behind the paper's "ideal platform" footnote.
+        """
+        try:
+            parent = self.slots[slot]
+        except KeyError:
+            raise KeyError(
+                f"unknown slot {slot!r}; available: {sorted(self.slots)}"
+            ) from None
+        if latency is None:
+            latency = _PLX_LATENCY if parent.kind == "switch" else _RC_PORT_LATENCY
+        return self.fabric.add_endpoint(device, parent, link, latency)
+
+
+# Root-complex forwarding is slower than a PLX switch; the memory
+# controller path (DRAM attach) is slower still.
+_RC_LATENCY = 300.0  # root complex <-> memory controller
+_RC_PORT_LATENCY = 150.0  # root-complex PCIe port forwarding
+_PLX_LATENCY = 110.0
+_QPI_LATENCY = 400.0
+
+
+def plx_platform(sim: Simulator, name: str = "plx") -> Platform:
+    """GPU and NIC behind one PLX switch (best case for peer-to-peer)."""
+    fab = PCIeFabric(sim)
+    root = fab.add_root(f"{name}.rc")
+    mem = HostMemory(sim, name=f"{name}.dram")
+    fab.add_endpoint(mem, root, LinkParams(gen=2, lanes=16), latency=_RC_LATENCY)
+    plx = fab.add_switch(
+        f"{name}.plx", root, LinkParams(gen=2, lanes=16), latency=_PLX_LATENCY
+    )
+    return Platform(
+        sim,
+        fab,
+        mem,
+        slots={"gpu": plx, "nic": plx, "root": root},
+    )
+
+
+def westmere_platform(sim: Simulator, name: str = "westmere") -> Platform:
+    """GPU and NIC on separate root-complex ports (Cluster I nodes).
+
+    Peer traffic crosses the chipset: two hops with root-complex latency.
+    """
+    fab = PCIeFabric(sim)
+    root = fab.add_root(f"{name}.rc")
+    mem = HostMemory(sim, name=f"{name}.dram")
+    fab.add_endpoint(mem, root, LinkParams(gen=2, lanes=16), latency=_RC_LATENCY)
+    return Platform(sim, fab, mem, slots={"gpu": root, "nic": root, "root": root})
+
+
+def dual_socket_platform(sim: Simulator, name: str = "2s") -> Platform:
+    """Two sockets joined by QPI; GPU and NIC on different sockets.
+
+    The virtual top node represents the QPI interconnect; each socket's
+    root complex hangs below it with QPI-crossing latency, so peer-to-peer
+    between the sockets pays two QPI traversals (the configuration where
+    the paper notes "performance may suffer or malfunctionings can arise").
+    """
+    fab = PCIeFabric(sim)
+    top = fab.add_root(f"{name}.qpi")
+    rc0 = fab.add_switch(
+        f"{name}.rc0", top, LinkParams(gen=2, lanes=16), latency=_QPI_LATENCY
+    )
+    rc1 = fab.add_switch(
+        f"{name}.rc1", top, LinkParams(gen=2, lanes=16), latency=_QPI_LATENCY
+    )
+    mem = HostMemory(sim, name=f"{name}.dram")
+    fab.add_endpoint(mem, rc0, LinkParams(gen=2, lanes=16), latency=_RC_LATENCY)
+    return Platform(
+        sim,
+        fab,
+        mem,
+        slots={"gpu": rc0, "nic": rc1, "socket0": rc0, "socket1": rc1},
+    )

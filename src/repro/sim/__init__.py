@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel for the APEnet+ reproduction.
+
+Public surface:
+
+* :class:`Simulator`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`AllOf`, :class:`AnyOf` — the event engine (:mod:`repro.sim.core`);
+* :class:`Resource`, :class:`Store`, :class:`ByteFifo`, :class:`PacketFifo`
+  — shared-resource primitives (:mod:`repro.sim.resources`);
+* :class:`Channel`, :class:`RateLimiter` — bandwidth/latency pipes
+  (:mod:`repro.sim.channel`);
+* :class:`BandwidthMeter`, :class:`TraceLog` — instrumentation
+  (:mod:`repro.sim.trace`).
+"""
+
+from .channel import Channel, RateLimiter
+from .core import AllOf, AnyOf, Event, Process, SimulationError, Simulator, Timeout
+from .resources import ByteFifo, PacketFifo, Resource, Store
+from .stats import OnlineStats, TimeSeries, percentile
+from .trace import BandwidthMeter, TraceLog, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "ByteFifo",
+    "PacketFifo",
+    "Channel",
+    "RateLimiter",
+    "BandwidthMeter",
+    "TraceLog",
+    "TraceRecord",
+    "OnlineStats",
+    "TimeSeries",
+    "percentile",
+]

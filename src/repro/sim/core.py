@@ -1,0 +1,360 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine event engine in the style of
+SimPy, specialised for this project:
+
+* the clock is a ``float`` in nanoseconds (see :mod:`repro.units`);
+* event ordering is fully deterministic — ties at equal timestamps are broken
+  by schedule order (a monotonically increasing sequence number), so a given
+  seed always produces an identical trace;
+* processes are plain generators that ``yield`` :class:`Event` objects.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def proc(sim, log):
+...     yield sim.timeout(10)
+...     log.append(sim.now)
+>>> log = []
+>>> _ = sim.process(proc(sim, log))
+>>> sim.run()
+>>> log
+[10.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+# Event lifecycle states.
+_PENDING = 0  # created, not yet triggered
+_TRIGGERED = 1  # scheduled for processing (value set)
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* with either :meth:`succeed` or :meth:`fail`;
+    the kernel then runs its callbacks at the current simulation time.
+    Waiting on an already-processed event resumes the waiter immediately
+    (at the current time, not retroactively).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_seq")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        self._seq = -1
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have processed yet)."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._state == _PENDING:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._push(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will raise it."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exc
+        self._state = _TRIGGERED
+        self.sim._push(self)
+        return self
+
+    # -- kernel hook ----------------------------------------------------------
+
+    def _process(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "done"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        sim._push(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; completes when the generator returns.
+
+    The process is itself an event: other processes can ``yield`` it to
+    join on its completion; its value is the generator's return value.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"process target must be a generator, got {gen!r}")
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time.
+        init = Event(sim)
+        init.succeed()
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._state == _PENDING
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger._ok:
+                target = self._gen.send(trigger._value)
+            else:
+                target = self._gen.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # A crashed process fails its completion event so joiners see it;
+            # if nobody is joined, re-raise during kernel step for visibility.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to a different Simulator")
+        self._waiting_on = target
+        if target._state == _PROCESSED:
+            # Already done: resume on the next kernel step at current time.
+            wake = Event(self.sim)
+            wake._ok = target._ok
+            wake._value = target._value
+            wake._state = _TRIGGERED
+            self.sim._push(wake)
+            wake.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different sims")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev._state == _PROCESSED:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _results(self) -> dict[Event, Any]:
+        # Only events whose callbacks have run count as "fired": a Timeout is
+        # born in the triggered state, but it has not happened yet.
+        return {ev: ev._value for ev in self.events if ev._state == _PROCESSED}
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; value = {event: value}."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires; value = {event: value}."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- factories -------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires *delay* ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register *gen* as a process; it starts at the current time."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when all of *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires when any of *events* fires."""
+        return AnyOf(self, events)
+
+    # -- kernel -----------------------------------------------------------------
+
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        event._seq = self._seq
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        t, _, event = heapq.heappop(self._heap)
+        if t < self.now - 1e-9:
+            raise SimulationError(f"time went backwards: {t} < {self.now}")
+        self.now = t
+        had_waiters = bool(event.callbacks)
+        event._process()
+        # A process that crashed with nobody joined on it at crash time:
+        # surface the error instead of losing it silently.
+        if isinstance(event, Process) and not event._ok and not had_waiters:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes *until*.
+
+        When *until* is given the clock is left exactly at *until* (if the
+        simulation got that far), matching SimPy semantics.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+            else:
+                if until < self.now:
+                    raise SimulationError(f"until={until} is in the past (now={self.now})")
+                while self._heap and self._heap[0][0] <= until:
+                    self.step()
+                if self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: run *gen* to completion and return its value.
+
+        Drives the whole simulation until the process finishes (other
+        concurrent processes keep running while it does).
+        """
+        proc = self.process(gen, name)
+        while proc._state == _PENDING and self._heap:
+            self.step()
+        if proc._state == _PENDING:
+            raise SimulationError(f"deadlock: process {proc.name!r} never finished")
+        if not proc._ok:
+            raise proc._value
+        return proc._value

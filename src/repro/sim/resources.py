@@ -1,0 +1,348 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — a counted semaphore with FIFO queuing (models servers
+  like the Nios II microcontroller or a DMA engine).
+* :class:`Store` — an unbounded-or-bounded FIFO of Python objects.
+* :class:`ByteFifo` — a byte-capacity FIFO with producer back-pressure; the
+  workhorse for modelling hardware FIFOs (TX FIFO, link buffers) where only
+  the *amount* of data matters.
+* :class:`PacketFifo` — a byte-capacity FIFO of discrete packets (objects
+  with a ``size`` attribute); producers block while the FIFO is full.
+
+All wait operations return :class:`~repro.sim.core.Event` objects that a
+process ``yield``\\ s on.  Queuing disciplines are strictly FIFO, which keeps
+simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "ByteFifo", "PacketFifo"]
+
+
+class Resource:
+    """A counted resource with FIFO-ordered acquisition.
+
+    Usage inside a process::
+
+        req = resource.acquire()
+        yield req
+        try:
+            yield sim.timeout(cost)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Instrumentation: total busy integral for utilization reporting.
+        self._busy_since: Optional[float] = None
+        self._busy_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        """Number of waiting acquirers."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is held."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _grant(self, ev: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        ev.succeed(self)
+
+    def release(self) -> None:
+        """Release one held slot (caller must actually hold one)."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._waiters and self._in_use < self.capacity:
+            self._grant(self._waiters.popleft())
+
+    def busy_time(self) -> float:
+        """Total time the resource had at least one holder."""
+        extra = 0.0
+        if self._busy_since is not None:
+            extra = self.sim.now - self._busy_since
+        return self._busy_time + extra
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulation time the resource was busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time() / self.sim.now
+
+
+class Store:
+    """A FIFO of arbitrary objects with optional item-count capacity."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise SimulationError("Store capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert *item*; the returned event fires once it is stored."""
+        ev = Event(self.sim)
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(item)
+            self._wake_getters()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._wake_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _wake_getters(self) -> None:
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+            self._wake_putters()
+
+    def _wake_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed(item)
+            self._wake_getters()
+
+
+class ByteFifo:
+    """Byte-granularity FIFO with capacity and producer back-pressure.
+
+    ``put(n)`` completes once *n* bytes have been accepted (the bytes are
+    reserved atomically, FIFO among producers); ``get(n)`` completes once
+    *n* bytes have been drained.  ``get_upto(n)`` completes as soon as at
+    least one byte is available and takes ``min(level, n)`` bytes; its event
+    value is the number of bytes taken.
+
+    A ``put`` larger than the capacity is rejected: the caller must chunk.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("ByteFifo capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._level = 0
+        self._putters: Deque[tuple[Event, int]] = deque()
+        self._getters: Deque[tuple[Event, int, bool]] = deque()
+        # Instrumentation
+        self.total_in = 0
+        self.total_out = 0
+        self._peak = 0
+
+    @property
+    def level(self) -> int:
+        """Bytes currently stored."""
+        return self._level
+
+    @property
+    def free(self) -> int:
+        """Bytes of remaining space."""
+        return self.capacity - self._level
+
+    @property
+    def peak_level(self) -> int:
+        """High-water mark of stored bytes."""
+        return self._peak
+
+    def put(self, nbytes: int) -> Event:
+        """Reserve *nbytes* of space; fires once the bytes are stored."""
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise SimulationError("put() needs a positive byte count")
+        if nbytes > self.capacity:
+            raise SimulationError(
+                f"put({nbytes}) exceeds FIFO capacity {self.capacity}; chunk it"
+            )
+        ev = Event(self.sim)
+        self._putters.append((ev, nbytes))
+        self._drain()
+        return ev
+
+    def get(self, nbytes: int) -> Event:
+        """Remove exactly *nbytes*; fires when they have all been taken."""
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise SimulationError("get() needs a positive byte count")
+        ev = Event(self.sim)
+        self._getters.append((ev, nbytes, False))
+        self._drain()
+        return ev
+
+    def get_upto(self, nbytes: int) -> Event:
+        """Remove up to *nbytes* (at least 1); event value = bytes taken."""
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise SimulationError("get_upto() needs a positive byte count")
+        ev = Event(self.sim)
+        self._getters.append((ev, nbytes, True))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit head producer if it fits.
+            if self._putters:
+                ev, n = self._putters[0]
+                if n <= self.capacity - self._level:
+                    self._putters.popleft()
+                    self._level += n
+                    self.total_in += n
+                    if self._level > self._peak:
+                        self._peak = self._level
+                    ev.succeed(n)
+                    progressed = True
+            # Serve head consumer if satisfiable.
+            if self._getters:
+                ev, n, upto = self._getters[0]
+                if upto and self._level > 0:
+                    take = min(n, self._level)
+                    self._getters.popleft()
+                    self._level -= take
+                    self.total_out += take
+                    ev.succeed(take)
+                    progressed = True
+                elif not upto and self._level >= n:
+                    self._getters.popleft()
+                    self._level -= n
+                    self.total_out += n
+                    ev.succeed(n)
+                    progressed = True
+
+
+class PacketFifo:
+    """FIFO of packet objects bounded by total byte size.
+
+    Packets must expose a ``size`` attribute (bytes).  ``put`` blocks while
+    the FIFO lacks space for the whole packet; ``get`` pops the next packet.
+    A single packet larger than the capacity is accepted only when the FIFO
+    is completely empty (hardware store-and-forward FIFOs cannot do even
+    that, but the TX paths in this project always chunk first — the escape
+    hatch just keeps toy configurations from deadlocking).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("PacketFifo capacity must be >= 1")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._level = 0
+        self._items: Deque[Any] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_packets_in = 0
+        self.total_packets_out = 0
+        self._peak = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def level(self) -> int:
+        """Bytes currently stored."""
+        return self._level
+
+    @property
+    def free(self) -> int:
+        """Bytes of remaining space."""
+        return self.capacity - self._level
+
+    @property
+    def peak_level(self) -> int:
+        """High-water mark of stored bytes."""
+        return self._peak
+
+    def _fits(self, packet: Any) -> bool:
+        size = int(packet.size)
+        if size <= self.capacity - self._level:
+            return True
+        return size > self.capacity and self._level == 0
+
+    def put(self, packet: Any) -> Event:
+        """Insert *packet*; fires once it is stored."""
+        if int(packet.size) < 0:
+            raise SimulationError("packet size must be non-negative")
+        ev = Event(self.sim)
+        self._putters.append((ev, packet))
+        self._drain()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the next packet; the event value is the packet."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, pkt = self._putters[0]
+                if self._fits(pkt):
+                    self._putters.popleft()
+                    self._level += int(pkt.size)
+                    self._items.append(pkt)
+                    self.total_packets_in += 1
+                    if self._level > self._peak:
+                        self._peak = self._level
+                    ev.succeed(pkt)
+                    progressed = True
+            if self._getters and self._items:
+                ev = self._getters.popleft()
+                pkt = self._items.popleft()
+                self._level -= int(pkt.size)
+                self.total_packets_out += 1
+                ev.succeed(pkt)
+                progressed = True

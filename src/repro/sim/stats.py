@@ -1,0 +1,110 @@
+"""Small online-statistics helpers used by benchmarks and traces."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["OnlineStats", "percentile", "TimeSeries"]
+
+
+class OnlineStats:
+    """Welford online mean/variance with min/max tracking."""
+
+    def __init__(self):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the statistics."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold many samples."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OnlineStats(n={self.n}, mean={self.mean:.3g}, sd={self.stddev:.3g})"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q={q} out of [0, 100]")
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return xs[lo]
+    frac = pos - lo
+    return xs[lo] * (1 - frac) + xs[hi] * frac
+
+
+class TimeSeries:
+    """Append-only (t, value) series with integration helpers.
+
+    Values are piecewise-constant between samples (step function), which is
+    the right semantics for levels like "FIFO occupancy over time".
+    """
+
+    def __init__(self):
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        """Record that the level became *value* at time *t*."""
+        if self.times and t < self.times[-1]:
+            raise ValueError("TimeSeries timestamps must be non-decreasing")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def time_average(self, until: float) -> float:
+        """Time-weighted average of the step function up to *until*."""
+        if not self.times:
+            return 0.0
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else until
+            t_next = min(t_next, until)
+            if t_next > t:
+                total += v * (t_next - t)
+        span = until - self.times[0]
+        return total / span if span > 0 else 0.0
+
+    def maximum(self) -> float:
+        """Largest recorded level."""
+        return max(self.values) if self.values else 0.0

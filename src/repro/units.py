@@ -1,0 +1,177 @@
+"""Units and constants used throughout the simulation.
+
+The simulation clock runs in **nanoseconds**, stored as ``float``.  With that
+choice, a bandwidth expressed in GB/s is *numerically equal* to bytes per
+nanosecond (1 GB/s = 1e9 B / 1e9 ns = 1 B/ns), which keeps every
+``bytes / bandwidth`` expression free of conversion factors.
+
+Sizes are in bytes.  Binary prefixes (KiB/MiB/GiB) are used for buffer and
+message sizes because the paper's "4KB", "32KB", "4MB" message sizes are
+powers of two; decimal GB/s is used for bandwidths because that is how PCIe
+and the paper quote rates.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time (simulation unit = 1 ns)
+# --------------------------------------------------------------------------
+
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+S = 1_000_000_000.0
+
+
+def ns(x: float) -> float:
+    """Return *x* nanoseconds in simulation time units."""
+    return x * NS
+
+
+def us(x: float) -> float:
+    """Return *x* microseconds in simulation time units."""
+    return x * US
+
+
+def ms(x: float) -> float:
+    """Return *x* milliseconds in simulation time units."""
+    return x * MS
+
+
+def seconds(x: float) -> float:
+    """Return *x* seconds in simulation time units."""
+    return x * S
+
+
+def to_us(t: float) -> float:
+    """Convert simulation time to microseconds."""
+    return t / US
+
+
+def to_ms(t: float) -> float:
+    """Convert simulation time to milliseconds."""
+    return t / MS
+
+
+def to_seconds(t: float) -> float:
+    """Convert simulation time to seconds."""
+    return t / S
+
+
+# --------------------------------------------------------------------------
+# Sizes (bytes)
+# --------------------------------------------------------------------------
+
+B = 1
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+
+def kib(x: float) -> int:
+    """Return *x* KiB in bytes."""
+    return int(x * KiB)
+
+
+def mib(x: float) -> int:
+    """Return *x* MiB in bytes."""
+    return int(x * MiB)
+
+
+# --------------------------------------------------------------------------
+# Bandwidth (bytes per ns; numerically equal to GB/s)
+# --------------------------------------------------------------------------
+
+
+def GBps(x: float) -> float:
+    """Bandwidth of *x* GB/s expressed in bytes/ns (identity by design)."""
+    return x
+
+
+def MBps(x: float) -> float:
+    """Bandwidth of *x* MB/s expressed in bytes/ns."""
+    return x / 1000.0
+
+
+def Gbps(x: float) -> float:
+    """Bandwidth of *x* Gbit/s expressed in bytes/ns."""
+    return x / 8.0
+
+
+def bw_to_MBps(bw: float) -> float:
+    """Convert a bytes/ns bandwidth back to MB/s (for reporting)."""
+    return bw * 1000.0
+
+
+def bw_to_GBps(bw: float) -> float:
+    """Convert a bytes/ns bandwidth back to GB/s (for reporting)."""
+    return bw
+
+
+# --------------------------------------------------------------------------
+# Formatting helpers
+# --------------------------------------------------------------------------
+
+_SIZE_SUFFIXES = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+
+def fmt_size(nbytes: float) -> str:
+    """Human-readable binary size, e.g. ``fmt_size(32768) == '32KiB'``."""
+    value = float(nbytes)
+    for suffix in _SIZE_SUFFIXES:
+        if value < 1024 or suffix == _SIZE_SUFFIXES[-1]:
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(t: float) -> str:
+    """Human-readable simulation time, e.g. ``fmt_time(1800) == '1.80us'``."""
+    if t < US:
+        return f"{t:.0f}ns"
+    if t < MS:
+        return f"{t / US:.2f}us"
+    if t < S:
+        return f"{t / MS:.3f}ms"
+    return f"{t / S:.4f}s"
+
+
+def fmt_bw(bw: float) -> str:
+    """Human-readable bandwidth from bytes/ns, e.g. ``'1536 MB/s'``."""
+    mbps = bw_to_MBps(bw)
+    if mbps < 1000:
+        return f"{mbps:.0f} MB/s"
+    return f"{mbps / 1000.0:.2f} GB/s"
+
+
+def parse_size(text: str) -> int:
+    """Parse a size string like ``'4K'``, ``'32KB'``, ``'4MiB'`` into bytes.
+
+    Accepts the loose suffixes used in the paper's figures (K/M/G treated as
+    binary multipliers, matching the power-of-two sweep points).
+    """
+    s = text.strip().upper()
+    multipliers = {
+        "K": KiB,
+        "KB": KiB,
+        "KIB": KiB,
+        "M": MiB,
+        "MB": MiB,
+        "MIB": MiB,
+        "G": GiB,
+        "GB": GiB,
+        "GIB": GiB,
+        "B": 1,
+        "": 1,
+    }
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit():
+        idx -= 1
+    number, suffix = s[:idx], s[idx:].strip()
+    if not number:
+        raise ValueError(f"no numeric part in size string {text!r}")
+    if suffix not in multipliers:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(number) * multipliers[suffix])

@@ -1,0 +1,251 @@
+"""End-to-end APEnet+ cluster tests: PUTs across the torus, all buffer combos."""
+
+import numpy as np
+import pytest
+
+from repro.apenet import BufferKind
+from repro.net import TorusShape, build_apenet_cluster
+from repro.sim import Simulator
+from repro.units import kib, mib, us
+
+
+def build(nx=2, ny=1, **cfg_kw):
+    from repro.apenet import DEFAULT_CONFIG
+
+    sim = Simulator()
+    config = DEFAULT_CONFIG.with_(**cfg_kw) if cfg_kw else DEFAULT_CONFIG
+    cluster = build_apenet_cluster(sim, TorusShape(nx, ny, 1), config)
+    return sim, cluster
+
+
+def test_cluster_composition():
+    sim, cluster = build(4, 2)
+    assert len(cluster) == 8
+    # Cluster I detail: all Fermi 2050 but one 2070.
+    names = [n.gpu.spec.name for n in cluster.nodes]
+    assert names.count("Tesla C2070") == 1
+    assert names.count("Tesla C2050") == 7
+    # 32 directed links on a 4x2 torus.
+    assert len(cluster.links) == 32
+
+
+def test_host_to_host_put_delivers_data():
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    src = n0.runtime.host_alloc(kib(8))
+    dst = n1.runtime.host_alloc(kib(8))
+    src.data[:] = np.arange(kib(8), dtype=np.uint8) % 251
+
+    def receiver():
+        yield from n1.endpoint.register(dst.addr, kib(8))
+        rec = yield from n1.endpoint.wait_event()
+        return rec
+
+    def sender():
+        yield sim.timeout(us(5))  # let the receiver register
+        local_done = yield from n0.endpoint.put(
+            1, src.addr, dst.addr, kib(8), src_kind=BufferKind.HOST, tag="t1"
+        )
+        yield local_done
+
+    recv_proc = sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    rec = recv_proc.value
+    assert rec.nbytes == kib(8)
+    assert rec.src_rank == 0
+    assert rec.tag == "t1"
+    np.testing.assert_array_equal(dst.data, src.data)
+
+
+def test_gpu_to_gpu_put_delivers_data():
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    src = n0.gpu.alloc(kib(16))
+    dst = n1.gpu.alloc(kib(16))
+    src.data[:] = 7
+
+    def receiver():
+        yield from n1.endpoint.register(dst.addr, kib(16))
+        rec = yield from n1.endpoint.wait_event()
+        return rec
+
+    def sender():
+        yield sim.timeout(us(5))
+        yield from n0.endpoint.register(src.addr, kib(16))
+        done = yield from n0.endpoint.put(
+            1, src.addr, dst.addr, kib(16), src_kind=BufferKind.GPU
+        )
+        yield done
+
+    recv = sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert recv.value.nbytes == kib(16)
+    assert dst.data.min() == 7
+
+
+def test_host_to_gpu_and_gpu_to_host():
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    hsrc = n0.runtime.host_alloc(kib(4))
+    gdst = n1.gpu.alloc(kib(4))
+    gsrc = n1.gpu.alloc(kib(4))
+    hdst = n0.runtime.host_alloc(kib(4))
+    hsrc.data[:] = 5
+    gsrc.data[:] = 9
+
+    def node1():
+        yield from n1.endpoint.register(gdst.addr, kib(4))
+        yield from n1.endpoint.wait_event()  # H->G arrival
+        done = yield from n1.endpoint.put(
+            0, gsrc.addr, hdst.addr, kib(4), src_kind=BufferKind.GPU
+        )
+        yield done
+
+    def node0():
+        yield from n0.endpoint.register(hdst.addr, kib(4))
+        yield sim.timeout(us(5))
+        done = yield from n0.endpoint.put(
+            1, hsrc.addr, gdst.addr, kib(4), src_kind=BufferKind.HOST
+        )
+        yield done
+        yield from n0.endpoint.wait_event()  # G->H arrival
+
+    p0 = sim.process(node0())
+    sim.process(node1())
+    sim.run()
+    assert gdst.data.min() == 5
+    assert hdst.data.min() == 9
+
+
+def test_unregistered_destination_drops_packets():
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    src = n0.runtime.host_alloc(kib(4))
+
+    def sender():
+        done = yield from n0.endpoint.put(
+            1, src.addr, 0x5_0000_0000, kib(4), src_kind=BufferKind.HOST
+        )
+        yield done
+        yield sim.timeout(us(50))
+
+    sim.run_process(sender())
+    assert n1.card.rx.packets_dropped == 1
+    assert n1.card.rx.packets_processed == 0
+
+
+def test_loopback_put_to_self():
+    sim, cluster = build()
+    n0 = cluster.nodes[0]
+    src = n0.runtime.host_alloc(kib(4))
+    dst = n0.runtime.host_alloc(kib(4))
+    src.data[:] = 3
+
+    def proc():
+        yield from n0.endpoint.register(dst.addr, kib(4))
+        done = yield from n0.endpoint.put(
+            0, src.addr, dst.addr, kib(4), src_kind=BufferKind.HOST
+        )
+        yield done
+        rec = yield from n0.endpoint.wait_event()
+        return rec
+
+    rec = sim.run_process(proc())
+    assert rec.nbytes == kib(4)
+    assert dst.data.min() == 3
+
+
+def test_multi_hop_route_through_torus():
+    sim, cluster = build(4, 2)
+    n0 = cluster.nodes[0]
+    n5 = cluster.nodes[5]  # coord (1,1): 2 hops from (0,0)
+    src = n0.runtime.host_alloc(kib(4))
+    dst = n5.runtime.host_alloc(kib(4))
+    src.data[:] = 77
+
+    def proc():
+        yield from n5.endpoint.register(dst.addr, kib(4))
+        done = yield from n0.endpoint.put(
+            5, src.addr, dst.addr, kib(4), src_kind=BufferKind.HOST
+        )
+        yield done
+        yield sim.timeout(us(50))
+
+    sim.run_process(proc())
+    assert dst.data.min() == 77
+    # The intermediate node forwarded but did not deliver.
+    mid_rank = cluster.shape.rank((1, 0, 0))
+    mid = cluster.nodes[mid_rank]
+    assert mid.card.router.packets_forwarded >= 1
+    assert mid.card.rx.packets_processed == 0
+
+
+def test_put_without_kind_flag_costs_pointer_query():
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    src = n0.runtime.host_alloc(256)
+    dst = n1.runtime.host_alloc(256)
+
+    def run(with_flag):
+        t0 = sim.now
+
+        def proc():
+            kw = {"src_kind": BufferKind.HOST} if with_flag else {}
+            done = yield from n0.endpoint.put(1, src.addr, dst.addr, 256, **kw)
+            return sim.now - t0
+
+        return sim.run_process(proc())
+
+    t_flag = run(True)
+    t_query = run(False)
+    assert t_query - t_flag == pytest.approx(
+        n0.runtime.costs.attribute_query_cost, rel=0.01
+    )
+
+
+def test_gpu_source_auto_registers_mapping():
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    src = n0.gpu.alloc(kib(8))
+    dst = n1.runtime.host_alloc(kib(8))
+
+    def proc():
+        yield from n1.endpoint.register(dst.addr, kib(8))
+        assert not n0.card.gpu_v2p.table(0).is_mapped(src.addr)
+        done = yield from n0.endpoint.put(
+            1, src.addr, dst.addr, kib(8), src_kind=BufferKind.GPU
+        )
+        yield done
+        yield sim.timeout(us(100))
+
+    sim.run_process(proc())
+    # "the buffer mapping is automatically done, if necessary" (§IV.A)
+    assert n0.card.gpu_v2p.table(0).is_mapped(src.addr)
+
+
+def test_large_transfer_conservation():
+    """1 MiB G-G: every byte arrives exactly once."""
+    sim, cluster = build()
+    n0, n1 = cluster.nodes
+    n = mib(1)
+    src = n0.gpu.alloc(n)
+    dst = n1.gpu.alloc(n)
+    rng = np.random.default_rng(42)
+    src.data[:] = rng.integers(0, 256, n, dtype=np.uint8)
+
+    def proc():
+        yield from n1.endpoint.register(dst.addr, n)
+        yield from n0.endpoint.register(src.addr, n)
+        done = yield from n0.endpoint.put(1, src.addr, dst.addr, n, src_kind=BufferKind.GPU)
+        yield done
+        yield from n1.endpoint.wait_event()
+
+    def waiter():
+        yield from proc()
+
+    # Run sender and receiver logic in one process (register first).
+    sim.run_process(waiter())
+    np.testing.assert_array_equal(dst.data, src.data)
+    assert n1.card.rx.bytes_received == n

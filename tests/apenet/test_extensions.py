@@ -1,0 +1,163 @@
+"""Tests for the future-work extensions: RX hardware acceleration and the
+BAR1-based TX engine."""
+
+import numpy as np
+import pytest
+
+from repro.apenet import BufferKind
+from repro.bench.microbench import (
+    loopback_read_bandwidth,
+    make_cluster,
+    pingpong_latency,
+    unidirectional_bandwidth,
+)
+from repro.gpu import FERMI_2050, KEPLER_K20
+from repro.units import MBps, kib, mib, us
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+
+# ---------------------------------------------------------------------------
+# RX hardware acceleration (§V.B: "adding more hardware blocks to
+# accelerate the RX task")
+# ---------------------------------------------------------------------------
+
+
+def test_rx_accel_raises_loopback_bandwidth():
+    base = unidirectional_bandwidth(H, H, mib(1), n_messages=4, loopback=True).MBps
+    acc = unidirectional_bandwidth(
+        H, H, mib(1), n_messages=4, loopback=True, rx_hw_accel=True
+    ).MBps
+    assert acc > base * 1.25
+
+
+def test_rx_accel_cuts_latency():
+    base = pingpong_latency(H, H, 32).usec
+    acc = pingpong_latency(H, H, 32, rx_hw_accel=True).usec
+    assert acc < base - 1.5  # the ~2.5 us of firmware work disappears
+
+
+def test_rx_accel_removes_buflist_scaling():
+    """With the CAM, many registrations no longer slow the RX path."""
+
+    def latency_with_registrations(n_extra, accel):
+        sim, cluster = make_cluster(2, 1, rx_hw_accel=accel)
+        a, b = cluster.nodes
+        pads = [b.runtime.host_alloc(4096) for _ in range(n_extra)]
+        ha, hb = a.runtime.host_alloc(64), b.runtime.host_alloc(64)
+        out = {}
+
+        def nb():
+            for p in pads:
+                yield from b.endpoint.register(p.addr, 4096)
+            yield from b.endpoint.register(hb.addr, 64)
+            yield from b.endpoint.wait_event()
+            out["arrived"] = sim.now
+
+        def na():
+            yield from a.endpoint.register(ha.addr, 64)
+            yield sim.timeout(us(200))
+            out["t0"] = sim.now
+            done = yield from a.endpoint.put(1, ha.addr, hb.addr, 32, src_kind=H)
+            yield done
+
+        sim.process(nb())
+        sim.process(na())
+        sim.run()
+        return out["arrived"] - out["t0"]
+
+    fw_few = latency_with_registrations(0, accel=False)
+    fw_many = latency_with_registrations(40, accel=False)
+    hw_few = latency_with_registrations(0, accel=True)
+    hw_many = latency_with_registrations(40, accel=True)
+    # Firmware: ~50ns per registered buffer on the scan path.
+    assert fw_many - fw_few > 1500
+    # Hardware CAM: constant.
+    assert abs(hw_many - hw_few) < 100
+
+
+def test_data_integrity_with_rx_accel():
+    sim, cluster = make_cluster(2, 1, rx_hw_accel=True)
+    a, b = cluster.nodes
+    src = a.gpu.alloc(kib(32))
+    dst = b.gpu.alloc(kib(32))
+    src.data[:] = 123
+
+    def proc():
+        yield from b.endpoint.register(dst.addr, kib(32))
+        yield from a.endpoint.register(src.addr, kib(32))
+        done = yield from a.endpoint.put(1, src.addr, dst.addr, kib(32), src_kind=G)
+        yield done
+        yield from b.endpoint.wait_event()
+
+    sim.run_process(proc())
+    assert dst.data.min() == 123
+
+
+# ---------------------------------------------------------------------------
+# BAR1-based transmission (paper conclusions: "On Kepler, the BAR1
+# technique seems more promising")
+# ---------------------------------------------------------------------------
+
+
+def test_bar1_tx_rates_match_table1():
+    fermi = loopback_read_bandwidth(
+        G, mib(1), n_messages=4, gpu_spec=FERMI_2050, gpu_tx_method="bar1", use_plx=True
+    ).MBps
+    kepler = loopback_read_bandwidth(
+        G, mib(1), n_messages=4, gpu_spec=KEPLER_K20, gpu_tx_method="bar1", use_plx=True
+    ).MBps
+    assert fermi == pytest.approx(150, rel=0.05)
+    assert kepler == pytest.approx(1600, rel=0.05)
+
+
+def test_bar1_tx_carries_real_data():
+    sim, cluster = make_cluster(
+        2, 1, gpu_spec=KEPLER_K20, gpu_tx_method="bar1"
+    )
+    a, b = cluster.nodes
+    src = a.gpu.alloc(kib(16))
+    dst = b.gpu.alloc(kib(16))
+    src.data[:] = np.arange(kib(16), dtype=np.uint8) % 199
+
+    def proc():
+        yield from b.endpoint.register(dst.addr, kib(16))
+        yield from a.endpoint.register(src.addr, kib(16))
+        done = yield from a.endpoint.put(1, src.addr, dst.addr, kib(16), src_kind=G)
+        yield done
+        yield from b.endpoint.wait_event()
+
+    sim.run_process(proc())
+    np.testing.assert_array_equal(dst.data, src.data)
+
+
+def test_bar1_registration_charges_map_cost():
+    sim, cluster = make_cluster(1, 1, gpu_spec=KEPLER_K20, gpu_tx_method="bar1")
+    node = cluster.nodes[0]
+    buf = node.gpu.alloc(kib(64))
+
+    def proc():
+        t0 = sim.now
+        yield from node.endpoint.register(buf.addr, kib(64))
+        return sim.now - t0
+
+    elapsed = sim.run_process(proc())
+    # Must include the "full reconfiguration of the GPU" mapping cost.
+    assert elapsed >= KEPLER_K20.bar1_map_cost
+    assert buf.addr in node.card.bar1_tx_maps
+
+
+def test_bar1_aperture_exhaustion_fails_registration():
+    from repro.gpu import Bar1Error
+
+    sim, cluster = make_cluster(1, 1, gpu_spec=FERMI_2050, gpu_tx_method="bar1")
+    node = cluster.nodes[0]
+    big = node.gpu.alloc(200 * 1024 * 1024)
+    big2 = node.gpu.alloc(200 * 1024 * 1024)
+
+    def proc():
+        yield from node.endpoint.register(big.addr, big.size)
+        with pytest.raises(Bar1Error, match="scarce"):
+            yield from node.endpoint.register(big2.addr, big2.size)
+
+    sim.run_process(proc())

@@ -1,0 +1,146 @@
+"""Unit tests for the card's firmware data structures: Nios II, BUF_LIST,
+V2P tables."""
+
+import pytest
+
+from repro.apenet import BufferKind, BufList, HostV2P, NiosII, RegisteredBuffer
+from repro.apenet.v2p import HOST_PAGE_SIZE, GpuV2PSet
+from repro.sim import Simulator
+from repro.units import us
+
+
+# ---------------------------------------------------------------------------
+# Nios II
+# ---------------------------------------------------------------------------
+
+
+def test_nios_serializes_tasks():
+    sim = Simulator()
+    nios = NiosII(sim)
+    ends = []
+
+    def task(tag, cost):
+        yield from nios.run(cost, tag)
+        ends.append((tag, sim.now))
+
+    sim.process(task("rx", us(3)))
+    sim.process(task("gpu_tx", us(1)))
+    sim.run()
+    assert ends == [("rx", us(3)), ("gpu_tx", us(4))]
+
+
+def test_nios_accounting_by_kind():
+    sim = Simulator()
+    nios = NiosII(sim)
+
+    def tasks():
+        yield from nios.run(us(2), "rx")
+        yield from nios.run(us(2), "rx")
+        yield from nios.run(us(1), "gpu_tx")
+
+    sim.run_process(tasks())
+    assert nios.busy_by_kind["rx"] == pytest.approx(us(4))
+    assert nios.busy_by_kind["gpu_tx"] == pytest.approx(us(1))
+    assert nios.tasks_by_kind["rx"] == 2
+    assert nios.utilization() == pytest.approx(1.0)
+
+
+def test_nios_zero_cost_is_free():
+    sim = Simulator()
+    nios = NiosII(sim)
+
+    def t():
+        yield from nios.run(0.0, "noop")
+        return sim.now
+
+    assert sim.run_process(t()) == 0.0
+    assert nios.tasks_by_kind.get("noop", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# BUF_LIST
+# ---------------------------------------------------------------------------
+
+
+def _entry(vaddr, nbytes, kind=BufferKind.HOST):
+    return RegisteredBuffer(vaddr, nbytes, kind)
+
+
+def test_buflist_lookup_counts_visits():
+    bl = BufList()
+    for i in range(5):
+        bl.register(_entry(i * 0x10000, 0x1000))
+    entry, visited = bl.lookup(4 * 0x10000 + 10)
+    assert entry.vaddr == 4 * 0x10000
+    assert visited == 5  # linear scan cost driver
+
+
+def test_buflist_validation_failure_returns_none():
+    bl = BufList()
+    bl.register(_entry(0x1000, 0x100))
+    entry, visited = bl.lookup(0x2000)
+    assert entry is None
+    assert visited == 1
+    # Range straddling the end of a registration fails too.
+    entry, _ = bl.lookup(0x10f0, nbytes=0x20)
+    assert entry is None
+
+
+def test_buflist_rejects_overlap():
+    bl = BufList()
+    bl.register(_entry(0x1000, 0x1000))
+    with pytest.raises(ValueError, match="overlaps"):
+        bl.register(_entry(0x1800, 0x1000))
+
+
+def test_buflist_deregister():
+    bl = BufList()
+    bl.register(_entry(0x1000, 0x100))
+    bl.deregister(0x1000)
+    assert len(bl) == 0
+    with pytest.raises(KeyError):
+        bl.deregister(0x1000)
+
+
+# ---------------------------------------------------------------------------
+# Host V2P
+# ---------------------------------------------------------------------------
+
+
+def test_host_v2p_map_and_lookup():
+    v2p = HostV2P()
+    added = v2p.map_range(0x1080, 3 * HOST_PAGE_SIZE)
+    assert added == 4  # unaligned start covers an extra page
+    assert v2p.lookup(0x1080).physical_addr == 0x1000
+    assert v2p.is_mapped(0x1080 + 3 * HOST_PAGE_SIZE - 1)
+
+
+def test_host_v2p_unmapped_raises():
+    v2p = HostV2P()
+    with pytest.raises(KeyError):
+        v2p.lookup(0xDEAD_0000)
+
+
+def test_host_v2p_scatter_list_covers_range():
+    v2p = HostV2P()
+    v2p.map_range(0, 8 * HOST_PAGE_SIZE)
+    chunks = v2p.scatter_list(100, 3 * HOST_PAGE_SIZE)
+    assert sum(n for _, n in chunks) == 3 * HOST_PAGE_SIZE
+    assert chunks[0] == (100, HOST_PAGE_SIZE - 100)
+
+
+def test_host_v2p_unmap():
+    v2p = HostV2P()
+    v2p.map_range(0, 4 * HOST_PAGE_SIZE)
+    removed = v2p.unmap_range(0, 2 * HOST_PAGE_SIZE)
+    assert removed == 2
+    assert not v2p.is_mapped(0)
+    assert v2p.is_mapped(3 * HOST_PAGE_SIZE)
+
+
+def test_gpu_v2p_set_lazy_tables():
+    s = GpuV2PSet()
+    t0 = s.table(0)
+    assert s.table(0) is t0
+    s.table(1)
+    assert s.gpu_count == 2

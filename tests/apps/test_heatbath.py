@@ -1,0 +1,107 @@
+"""Tests for the heatbath sampler and mixed sweeps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.hsg import SpinLattice
+from repro.apps.hsg.heatbath import (
+    heatbath_parity,
+    heatbath_spins,
+    heatbath_sweep,
+    mixed_sweep,
+)
+
+
+def test_samples_are_unit_vectors():
+    rng = np.random.default_rng(0)
+    h = rng.normal(size=(500, 3))
+    s = heatbath_spins(h, beta=1.3, rng=rng)
+    np.testing.assert_allclose(np.linalg.norm(s, axis=-1), 1.0, atol=1e-12)
+
+
+def test_beta_zero_is_uniform():
+    """At beta=0 the conditional is the uniform sphere distribution."""
+    rng = np.random.default_rng(1)
+    h = rng.normal(size=(20000, 3))
+    s = heatbath_spins(h, beta=0.0, rng=rng)
+    # Mean ~ 0 in every component; <s_z^2> ~ 1/3.
+    assert np.abs(s.mean(axis=0)).max() < 0.02
+    assert s[:, 2].var() == pytest.approx(1 / 3, rel=0.05)
+
+
+def test_large_beta_aligns_with_field():
+    rng = np.random.default_rng(2)
+    h = np.tile([0.0, 0.0, 4.0], (5000, 1))
+    s = heatbath_spins(h, beta=20.0, rng=rng)
+    # Strong coupling: spins hug the field direction.
+    assert s[:, 2].mean() > 0.95
+
+
+def test_mean_alignment_matches_langevin():
+    """<s.h_hat> must equal the Langevin function coth(a) - 1/a."""
+    rng = np.random.default_rng(3)
+    hmag = 2.0
+    beta = 1.5
+    a = beta * hmag
+    h = np.tile([0.0, 0.0, hmag], (200_000, 1))
+    s = heatbath_spins(h, beta=beta, rng=rng)
+    langevin = 1.0 / np.tanh(a) - 1.0 / a
+    assert s[:, 2].mean() == pytest.approx(langevin, abs=0.01)
+
+
+def test_zero_field_sites_handled():
+    rng = np.random.default_rng(4)
+    h = np.zeros((100, 3))
+    s = heatbath_spins(h, beta=2.0, rng=rng)
+    np.testing.assert_allclose(np.linalg.norm(s, axis=-1), 1.0, atol=1e-12)
+
+
+def test_heatbath_lowers_energy_at_high_beta():
+    """From a random start, strong coupling must cool the lattice."""
+    lat = SpinLattice((10, 10, 10), seed=5)
+    e0 = lat.energy()
+    rng = np.random.default_rng(5)
+    for _ in range(10):
+        heatbath_sweep(lat, beta=5.0, rng=rng)
+    assert lat.energy() < e0 - 100.0
+
+
+def test_heatbath_parity_validation():
+    lat = SpinLattice((4, 4, 4))
+    with pytest.raises(ValueError):
+        heatbath_parity(lat, 2, 1.0, np.random.default_rng(0))
+
+
+def test_mixed_sweep_preserves_norms():
+    lat = SpinLattice((8, 8, 8), seed=6)
+    rng = np.random.default_rng(6)
+    for _ in range(3):
+        mixed_sweep(lat, beta=0.8, rng=rng)
+    np.testing.assert_allclose(lat.spin_norms(), 1.0, atol=1e-10)
+
+
+def test_mixed_sweep_thermalizes_toward_heatbath_energy():
+    """Mixed dynamics must reach the same energy density as pure heatbath."""
+    rng1 = np.random.default_rng(7)
+    rng2 = np.random.default_rng(8)
+    beta = 1.2
+    a = SpinLattice((8, 8, 8), seed=7)
+    b = SpinLattice((8, 8, 8), seed=99)
+    for _ in range(25):
+        heatbath_sweep(a, beta, rng1)
+        mixed_sweep(b, beta, rng2)
+    ea = a.energy() / a.n_sites
+    eb = b.energy() / b.n_sites
+    assert ea == pytest.approx(eb, abs=0.12)
+
+
+@given(beta=st.floats(0.0, 5.0), seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_sampler_norm_property(beta, seed):
+    rng = np.random.default_rng(seed)
+    h = rng.normal(size=(64, 3)) * rng.uniform(0, 6)
+    s = heatbath_spins(h, beta=beta, rng=rng)
+    assert np.all(np.abs(np.linalg.norm(s, axis=-1) - 1.0) < 1e-10)
+    assert np.isfinite(s).all()

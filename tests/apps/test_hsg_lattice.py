@@ -1,0 +1,115 @@
+"""Unit + property tests for the Heisenberg over-relaxation physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.hsg import SpinLattice, overrelax_spins
+
+
+def test_initial_spins_are_unit():
+    lat = SpinLattice((8, 8, 8), seed=1)
+    np.testing.assert_allclose(lat.spin_norms(), 1.0, atol=1e-12)
+
+
+def test_sweep_preserves_energy():
+    lat = SpinLattice((12, 12, 12), seed=3)
+    e0 = lat.energy()
+    for _ in range(10):
+        lat.sweep()
+    assert lat.energy() == pytest.approx(e0, abs=1e-9)
+
+
+def test_sweep_preserves_spin_norms():
+    lat = SpinLattice((10, 10, 10), seed=4)
+    for _ in range(5):
+        lat.sweep()
+    np.testing.assert_allclose(lat.spin_norms(), 1.0, atol=1e-12)
+
+
+def test_sweep_changes_the_state():
+    lat = SpinLattice((8, 8, 8), seed=5)
+    before = lat.spins.copy()
+    lat.sweep()
+    assert not np.allclose(lat.spins, before)
+
+
+def test_overrelax_is_an_involution():
+    """Reflecting twice about the same field restores the spin."""
+    rng = np.random.default_rng(0)
+    s = rng.normal(size=(100, 3))
+    s /= np.linalg.norm(s, axis=1, keepdims=True)
+    h = rng.normal(size=(100, 3))
+    once = overrelax_spins(s, h)
+    twice = overrelax_spins(once, h)
+    np.testing.assert_allclose(twice, s, atol=1e-12)
+
+
+def test_overrelax_preserves_projection_on_field():
+    rng = np.random.default_rng(1)
+    s = rng.normal(size=(50, 3))
+    s /= np.linalg.norm(s, axis=1, keepdims=True)
+    h = rng.normal(size=(50, 3))
+    s2 = overrelax_spins(s, h)
+    np.testing.assert_allclose((s * h).sum(-1), (s2 * h).sum(-1), atol=1e-12)
+
+
+def test_overrelax_zero_field_is_identity():
+    s = np.array([[1.0, 0.0, 0.0]])
+    h = np.zeros((1, 3))
+    np.testing.assert_array_equal(overrelax_spins(s, h), s)
+
+
+def test_parity_update_only_touches_one_sublattice():
+    lat = SpinLattice((8, 8, 8), seed=6)
+    before = lat.spins.copy()
+    lat.overrelax_parity(0)
+    changed = ~np.isclose(lat.spins, before).all(axis=-1)
+    x, y, z = np.indices((8, 8, 8))
+    assert not changed[(x + y + z) % 2 == 1].any()
+
+
+def test_bad_parameters():
+    with pytest.raises(ValueError):
+        SpinLattice((1, 8, 8))
+    lat = SpinLattice((4, 4, 4))
+    with pytest.raises(ValueError):
+        lat.overrelax_parity(2)
+    with pytest.raises(ValueError):
+        SpinLattice((4, 4, 4), spins=np.zeros((2, 2, 2, 3)))
+
+
+def test_copy_is_independent():
+    lat = SpinLattice((6, 6, 6), seed=2)
+    cp = lat.copy()
+    lat.sweep()
+    assert not np.allclose(lat.spins, cp.spins)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    dims=st.tuples(
+        st.sampled_from([4, 6, 8]), st.sampled_from([4, 6]), st.sampled_from([4, 6])
+    ),
+    sweeps=st.integers(1, 4),
+)
+@settings(max_examples=20, deadline=None)
+def test_energy_conservation_property(seed, dims, sweeps):
+    """Over-relaxation conserves energy for any lattice and seed."""
+    lat = SpinLattice(dims, seed=seed)
+    e0 = lat.energy()
+    for _ in range(sweeps):
+        lat.sweep()
+    assert lat.energy() == pytest.approx(e0, abs=1e-8)
+    np.testing.assert_allclose(lat.spin_norms(), 1.0, atol=1e-10)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_magnetization_z_component_behaviour(seed):
+    """Reflections change M in general but keep it finite and bounded."""
+    lat = SpinLattice((6, 6, 6), seed=seed)
+    lat.sweep()
+    m = lat.magnetization()
+    assert np.all(np.abs(m) <= lat.n_sites)

@@ -1,0 +1,77 @@
+"""Tests for the post-run cluster diagnostics."""
+
+import pytest
+
+from repro.apenet import BufferKind
+from repro.bench.diagnostics import cluster_report, render_report
+from repro.bench.microbench import make_cluster
+from repro.units import kib, us
+
+
+def run_traffic(sim, cluster, nbytes=kib(64), gpu=False):
+    a, b = cluster.nodes[0], cluster.nodes[1]
+    if gpu:
+        src = a.gpu.alloc(nbytes).addr
+        dst = b.gpu.alloc(nbytes).addr
+        kind = BufferKind.GPU
+    else:
+        src = a.runtime.host_alloc(nbytes).addr
+        dst = b.runtime.host_alloc(nbytes).addr
+        kind = BufferKind.HOST
+
+    def proc():
+        yield from b.endpoint.register(dst, nbytes)
+        if gpu:
+            yield from a.endpoint.register(src, nbytes)
+        done = yield from a.endpoint.put(1, src, dst, nbytes, src_kind=kind)
+        yield done
+        yield from b.endpoint.wait_event()
+
+    sim.run_process(proc())
+
+
+def test_report_counts_traffic():
+    sim, cluster = make_cluster(2, 1)
+    run_traffic(sim, cluster, kib(64))
+    diags = cluster_report(cluster)
+    sender, receiver = diags
+    assert sender.tx_host_bytes == kib(64)
+    assert receiver.rx_bytes == kib(64)
+    assert receiver.rx_packets == 16
+    assert receiver.rx_dropped == 0
+    # The user buffer plus the endpoint's GET firmware mailbox.
+    assert receiver.registered_buffers == 2
+    assert receiver.nios_utilization > 0
+
+
+def test_dominant_task_is_rx_on_receiver():
+    sim, cluster = make_cluster(2, 1)
+    run_traffic(sim, cluster, kib(256), gpu=True)
+    diags = cluster_report(cluster)
+    assert diags[1].dominant_task == "rx"
+    assert diags[0].dominant_task == "gpu_tx"
+    assert diags[0].tx_gpu_bytes == kib(256)
+
+
+def test_fifo_peaks_recorded():
+    sim, cluster = make_cluster(2, 1)
+    run_traffic(sim, cluster, kib(256))
+    diags = cluster_report(cluster)
+    assert diags[0].tx_fifo_peak > 0
+    assert diags[1].rx_fifo_peak > 0
+    assert diags[1].rx_fifo_peak <= cluster.config.rx_fifo_bytes
+
+
+def test_render_report_mentions_links():
+    sim, cluster = make_cluster(2, 1)
+    run_traffic(sim, cluster)
+    out = render_report(cluster)
+    assert "Per-node firmware/engine counters" in out
+    assert "Busiest torus links" in out
+    assert "n0.ape->n1.ape" in out
+
+
+def test_report_on_idle_cluster():
+    sim, cluster = make_cluster(2, 1)
+    out = render_report(cluster)
+    assert "(no traffic)" in out

@@ -1,0 +1,47 @@
+"""Tests for the micro-benchmark helpers and the CLI entry point."""
+
+import pytest
+
+from repro.apenet import BufferKind
+from repro.bench.__main__ import main as bench_main
+from repro.bench.microbench import (
+    bidirectional_bandwidth,
+    default_message_count,
+    unidirectional_bandwidth,
+)
+from repro.units import kib, mib
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+
+def test_default_message_count_bounds():
+    assert default_message_count(32) == 96
+    assert default_message_count(mib(4)) == 8
+    assert 8 <= default_message_count(kib(64)) <= 96
+
+
+def test_bidirectional_aggregate_vs_unidirectional():
+    uni = unidirectional_bandwidth(H, H, mib(1), n_messages=4).bandwidth
+    bi = bidirectional_bandwidth(H, H, mib(1), n_messages=4).bandwidth
+    # Aggregate must exceed one direction but cannot exceed 2x.
+    assert uni < bi <= 2.02 * uni
+
+
+def test_bidir_per_direction_matches_loopback():
+    """The paper's §IV prediction, kept as a regression."""
+    bi = bidirectional_bandwidth(G, G, mib(1), n_messages=4).MBps
+    loop = unidirectional_bandwidth(G, G, mib(1), n_messages=4, loopback=True).MBps
+    assert bi / 2 == pytest.approx(loop, rel=0.05)
+
+
+def test_cli_list(capsys):
+    assert bench_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig12" in out and "ablation_bar1" in out
+
+
+def test_cli_runs_single_experiment(capsys):
+    assert bench_main(["fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "APEnet+ latency" in out
+    assert "Paper-vs-measured summary" in out

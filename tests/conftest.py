@@ -1,0 +1,12 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-heavy property tests are deterministic but not fast; disable
+# wall-clock deadlines so shared-machine load cannot flake them.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

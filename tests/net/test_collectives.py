@@ -1,0 +1,157 @@
+"""Tests for the collective-operations library over APEnet+ RDMA."""
+
+import numpy as np
+import pytest
+
+from repro.net.collectives import make_collectives
+from repro.bench.microbench import make_cluster
+from repro.units import us
+
+
+def build(nx=2, ny=2):
+    sim, cluster = make_cluster(nx, ny)
+    colls = make_collectives(cluster, scratch_bytes=1 << 16)
+    return sim, cluster, colls
+
+
+def run_collective(sim, colls, body):
+    """Run body(coll) on every rank; returns {rank: result}."""
+    results = {}
+
+    def proc(c):
+        yield from c.setup()
+        r = yield from body(c)
+        results[c.rank] = r
+
+    procs = [sim.process(proc(c)) for c in colls]
+    sim.run()
+    assert all(p.processed for p in procs), "collective deadlocked"
+    return results
+
+
+def test_barrier_holds_everyone():
+    sim, cluster, colls = build()
+    release = {}
+
+    def body(c):
+        yield sim.timeout(us(25) * c.rank)  # staggered entry
+        yield from c.barrier(tag=("b", 1))
+        release[c.rank] = sim.now
+        return True
+
+    run_collective(sim, colls, body)
+    assert min(release.values()) >= us(25) * 3
+
+
+def test_broadcast_from_root():
+    sim, cluster, colls = build()
+
+    def body(c):
+        val = yield from c.broadcast("hello" if c.rank == 0 else None, root=0)
+        return val
+
+    results = run_collective(sim, colls, body)
+    assert all(v == "hello" for v in results.values())
+
+
+def test_broadcast_nonzero_root():
+    sim, cluster, colls = build()
+
+    def body(c):
+        val = yield from c.broadcast(42 if c.rank == 2 else None, root=2)
+        return val
+
+    results = run_collective(sim, colls, body)
+    assert all(v == 42 for v in results.values())
+
+
+def test_allreduce_sum_and_max():
+    sim, cluster, colls = build()
+
+    def body(c):
+        total = yield from c.allreduce(c.rank + 1, tag=("s", 0))
+        biggest = yield from c.allreduce(c.rank, op=max, tag=("m", 0))
+        return total, biggest
+
+    results = run_collective(sim, colls, body)
+    assert all(v == (10, 3) for v in results.values())
+
+
+def test_alltoallv_moves_real_bytes():
+    sim, cluster, colls = build()
+
+    def body(c):
+        payloads, sizes = {}, {}
+        for p in range(4):
+            if p == c.rank:
+                continue
+            n = 100 * (c.rank + 1) + p
+            payloads[p] = np.full(n, c.rank * 16 + p, dtype=np.uint8)
+            sizes[p] = n
+        got = yield from c.alltoallv(payloads, sizes, tag=("x", 0))
+        return got
+
+    results = run_collective(sim, colls, body)
+    for me, got in results.items():
+        for src, data in got.items():
+            expect_n = 100 * (src + 1) + me
+            assert len(data) == expect_n
+            assert (data == src * 16 + me).all()
+
+
+def test_alltoallv_with_zero_sizes():
+    sim, cluster, colls = build()
+
+    def body(c):
+        sizes = {p: (0 if p % 2 == 0 else 256) for p in range(4) if p != c.rank}
+        got = yield from c.alltoallv({}, sizes, tag=("z", 0))
+        return {p: len(v) for p, v in got.items()}
+
+    results = run_collective(sim, colls, body)
+    # Receivers see 0 bytes from even ranks... every sender sends 0 to even
+    # PEERS; so rank p receives 256 from everyone iff p is odd.
+    for me, lens in results.items():
+        for src, n in lens.items():
+            assert n == (0 if me % 2 == 0 else 256)
+
+
+def test_ring_exchange():
+    sim, cluster, colls = build(4, 1)
+
+    def body(c):
+        down = np.full(512, c.rank, dtype=np.uint8)
+        up = np.full(512, c.rank + 100, dtype=np.uint8)
+        fd, fu = yield from c.ring_exchange(down, up, 512, tag=("h", 0))
+        return fd[0], fu[0]
+
+    results = run_collective(sim, colls, body)
+    for me, (from_down, from_up) in results.items():
+        assert from_down == ((me - 1) % 4) + 100  # neighbour's "up" payload
+        assert from_up == (me + 1) % 4  # neighbour's "down" payload
+
+
+def test_oversized_payload_rejected():
+    sim, cluster, colls = build()
+
+    def body(c):
+        if c.rank == 0:
+            with pytest.raises(ValueError, match="exceeds scratch"):
+                yield from c._put(1, None, 1 << 20, ("big",))
+        yield sim.timeout(1)
+        return True
+
+    run_collective(sim, colls, body)
+
+
+def test_collectives_compose_across_tags():
+    """Interleaved collectives with different tags must not cross-talk."""
+    sim, cluster, colls = build()
+
+    def body(c):
+        s1 = yield from c.allreduce(1, tag=("a", 1))
+        yield from c.barrier(tag=("b", 1))
+        s2 = yield from c.allreduce(c.rank, tag=("a", 2))
+        return s1, s2
+
+    results = run_collective(sim, colls, body)
+    assert all(v == (4, 6) for v in results.values())

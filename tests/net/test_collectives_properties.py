@@ -1,0 +1,85 @@
+"""Property-based tests for the collectives library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.microbench import make_cluster
+from repro.net.collectives import make_collectives
+
+
+def run_all(sim, colls, body):
+    results = {}
+
+    def proc(c):
+        yield from c.setup()
+        results[c.rank] = (yield from body(c))
+
+    procs = [sim.process(proc(c)) for c in colls]
+    sim.run()
+    assert all(p.processed for p in procs), "collective deadlocked"
+    return results
+
+
+@given(
+    values=st.lists(st.integers(-1000, 1000), min_size=4, max_size=4),
+)
+@settings(max_examples=15, deadline=None)
+def test_allreduce_is_correct_for_any_values(values):
+    sim, cluster = make_cluster(2, 2)
+    colls = make_collectives(cluster, scratch_bytes=4096)
+
+    def body(c):
+        out = yield from c.allreduce(values[c.rank], tag=("p", 0))
+        return out
+
+    results = run_all(sim, colls, body)
+    assert all(v == sum(values) for v in results.values())
+
+
+@given(
+    sizes=st.lists(st.integers(0, 2000), min_size=12, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_alltoallv_conserves_every_byte(sizes, seed):
+    """Random per-pair sizes: every byte lands at the right peer."""
+    sim, cluster = make_cluster(2, 2)
+    colls = make_collectives(cluster, scratch_bytes=4096)
+    rng = np.random.default_rng(seed)
+    n = 4
+    # sizes[i*3 + k] = bytes from rank i to its k-th peer.
+    size_map = {}
+    payload_map = {}
+    for me in range(n):
+        peers = [p for p in range(n) if p != me]
+        for k, p in enumerate(peers):
+            nbytes = sizes[me * 3 + k]
+            size_map[(me, p)] = nbytes
+            payload_map[(me, p)] = rng.integers(0, 256, nbytes, dtype=np.uint8)
+
+    def body(c):
+        payloads = {p: payload_map[(c.rank, p)] for p in range(n) if p != c.rank}
+        szs = {p: size_map[(c.rank, p)] for p in range(n) if p != c.rank}
+        got = yield from c.alltoallv(payloads, szs, tag=("pp", 0))
+        return got
+
+    results = run_all(sim, colls, body)
+    for me, got in results.items():
+        for src, data in got.items():
+            np.testing.assert_array_equal(data, payload_map[(src, me)])
+
+
+@given(root=st.integers(0, 3), value=st.integers(-10**9, 10**9))
+@settings(max_examples=12, deadline=None)
+def test_broadcast_any_root(root, value):
+    sim, cluster = make_cluster(2, 2)
+    colls = make_collectives(cluster, scratch_bytes=4096)
+
+    def body(c):
+        out = yield from c.broadcast(value if c.rank == root else None, root=root)
+        return out
+
+    results = run_all(sim, colls, body)
+    assert all(v == value for v in results.values())

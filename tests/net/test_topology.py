@@ -1,0 +1,96 @@
+"""Unit tests for torus topology math."""
+
+import pytest
+
+from repro.net import TorusShape
+
+
+def test_rank_coord_round_trip():
+    shape = TorusShape(4, 2, 1)
+    for rank in range(shape.size):
+        assert shape.rank(shape.coord(rank)) == rank
+
+
+def test_size_and_dims():
+    assert TorusShape(4, 2).size == 8
+    assert TorusShape(2, 2, 2).size == 8
+    assert TorusShape(1, 1, 1).size == 1
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(ValueError):
+        TorusShape(0, 2)
+
+
+def test_wrap():
+    shape = TorusShape(4, 2, 1)
+    assert shape.wrap((4, 2, 1)) == (0, 0, 0)
+    assert shape.wrap((-1, -1, 0)) == (3, 1, 0)
+
+
+def test_neighbors():
+    shape = TorusShape(4, 2, 1)
+    assert shape.neighbor((0, 0, 0), 0, 1) == (1, 0, 0)
+    assert shape.neighbor((3, 0, 0), 0, 1) == (0, 0, 0)  # wraparound
+    assert shape.neighbor((0, 0, 0), 0, -1) == (3, 0, 0)
+    assert shape.neighbor((0, 1, 0), 1, 1) == (0, 0, 0)
+
+
+def test_route_is_dimension_ordered():
+    shape = TorusShape(4, 4, 4)
+    hops = shape.route((0, 0, 0), (2, 1, 3))
+    dims = [d for d, _ in hops]
+    assert dims == sorted(dims)  # X hops before Y before Z
+    # Apply the hops; we must land on the destination.
+    cur = (0, 0, 0)
+    for dim, step in hops:
+        cur = shape.neighbor(cur, dim, step)
+    assert cur == (2, 1, 3)
+
+
+def test_route_takes_shortest_way_around():
+    shape = TorusShape(8, 1, 1)
+    # 0 -> 6 is 2 hops backwards, not 6 forwards.
+    hops = shape.route((0, 0, 0), (6, 0, 0))
+    assert hops == [(0, -1), (0, -1)]
+    # 0 -> 4 (exactly half): tie goes positive.
+    hops = shape.route((0, 0, 0), (4, 0, 0))
+    assert hops == [(0, 1)] * 4
+
+
+def test_route_to_self_is_empty():
+    shape = TorusShape(4, 2)
+    assert shape.route((1, 1, 0), (1, 1, 0)) == []
+
+
+def test_distance():
+    shape = TorusShape(4, 2, 1)
+    assert shape.distance((0, 0, 0), (1, 0, 0)) == 1
+    assert shape.distance((0, 0, 0), (3, 0, 0)) == 1  # wrap
+    assert shape.distance((0, 0, 0), (2, 1, 0)) == 3
+
+
+def test_links_enumeration_4x2():
+    shape = TorusShape(4, 2, 1)
+    links = list(shape.links())
+    # Per node: 2 X links + 2 Y links (Z has extent 1) = 4; 8 nodes = 32.
+    assert len(links) == 32
+    for src, dim, direction, dst in links:
+        assert shape.neighbor(src, dim, direction) == dst
+
+
+def test_links_skip_unit_dimensions():
+    shape = TorusShape(2, 1, 1)
+    links = list(shape.links())
+    assert all(dim == 0 for _, dim, _, _ in links)
+    assert len(links) == 4  # 2 nodes x 2 X-directions
+
+
+def test_route_all_pairs_land_correctly():
+    shape = TorusShape(3, 3, 2)
+    for s in range(shape.size):
+        for d in range(shape.size):
+            cur = shape.coord(s)
+            for dim, step in shape.route(cur, shape.coord(d)):
+                cur = shape.neighbor(cur, dim, step)
+            assert cur == shape.coord(d)

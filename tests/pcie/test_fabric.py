@@ -1,0 +1,242 @@
+"""Unit tests for the PCIe fabric: routing, writes, split reads."""
+
+import pytest
+
+from repro.pcie import (
+    BusAnalyzer,
+    HostMemory,
+    LinkParams,
+    PCIeDevice,
+    PCIeFabric,
+    ReadBehavior,
+    TlpKind,
+    WriteBehavior,
+)
+from repro.sim import RateLimiter, SimulationError, Simulator
+from repro.units import GBps, us
+
+
+class SinkDevice(PCIeDevice):
+    """Minimal endpoint with a fixed window, fast sink, and slow reads."""
+
+    def __init__(self, sim, name, base, size=1 << 20, read_latency=1000.0, read_rate=None):
+        super().__init__(sim, name)
+        self.add_window(base, size, "bar0")
+        self.deliveries = []
+        self._read = ReadBehavior(
+            latency=read_latency,
+            limiter=RateLimiter(sim, read_rate) if read_rate else None,
+        )
+        self._write = WriteBehavior(on_write=self._on_write)
+
+    def _on_write(self, addr, nbytes, payload):
+        self.deliveries.append((addr, nbytes, payload))
+
+    def describe_read(self, addr):
+        return self._read
+
+    def describe_write(self, addr):
+        return self._write
+
+
+def build_two_device_fabric(sim, **sink_kwargs):
+    fab = PCIeFabric(sim)
+    root = fab.add_root("rc")
+    mem = HostMemory(sim, name="dram")
+    fab.add_endpoint(mem, root, LinkParams(gen=2, lanes=16), latency=300.0)
+    nic = SinkDevice(sim, "nic", base=0x100_0000_0000, **sink_kwargs)
+    gpu = SinkDevice(sim, "gpu", base=0x200_0000_0000, **sink_kwargs)
+    fab.add_endpoint(nic, root, LinkParams(gen=2, lanes=8), latency=150.0)
+    fab.add_endpoint(gpu, root, LinkParams(gen=2, lanes=16), latency=150.0)
+    return fab, mem, nic, gpu
+
+
+def test_address_resolution():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    assert fab.resolve(0x1000) is mem
+    assert fab.resolve(0x100_0000_0000) is nic
+    assert fab.resolve(0x200_0000_0042) is gpu
+    with pytest.raises(SimulationError):
+        fab.resolve(0x999_0000_0000)
+
+
+def test_window_clash_detected():
+    sim = Simulator()
+    fab = PCIeFabric(sim)
+    root = fab.add_root("rc")
+    d1 = SinkDevice(sim, "d1", base=0x1000, size=0x1000)
+    fab.add_endpoint(d1, root)
+    d2 = SinkDevice(sim, "d2", base=0x1800, size=0x1000)
+    with pytest.raises(SimulationError, match="clash"):
+        fab.add_endpoint(d2, root)
+
+
+def test_path_between_siblings_goes_through_parent():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    hops = fab.path(nic.node, gpu.node)
+    assert [(h[0].child.name, h[1]) for h in hops] == [("nic", "up"), ("gpu", "down")]
+
+
+def test_path_to_self_is_empty():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    assert fab.path(nic.node, nic.node) == []
+
+
+def test_write_delivers_payload_once():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+
+    def proc():
+        yield fab.write(nic, 0x200_0000_0000, 8192, payload="halo-data")
+
+    sim.run_process(proc())
+    # Delivery happens exactly once, with the whole write's base and size,
+    # when the final quantum is absorbed.
+    assert gpu.deliveries == [(0x200_0000_0000, 8192, "halo-data")]
+
+
+def test_write_timing_includes_tlp_overhead():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    nbytes = 4096
+
+    def proc():
+        t0 = sim.now
+        yield fab.write(nic, 0x200_0000_0000, nbytes)
+        return sim.now - t0
+
+    elapsed = sim.run_process(proc())
+    # 16 TLPs of 256B payload + 24B overhead = 4480 wire bytes; two hops:
+    # x8 up (3.8 B/ns) then x16 down (7.6 B/ns), latency 150 each.
+    wire = nbytes + 16 * 24
+    expected = wire / (4.0 * 0.95) + 150 + wire / (8.0 * 0.95) + 150
+    assert elapsed == pytest.approx(expected, rel=0.01)
+
+
+def test_single_read_round_trip_time():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim, read_latency=1800.0)
+
+    def proc():
+        t0 = sim.now
+        yield fab.read(nic, 0x200_0000_0000, 512)
+        return sim.now - t0
+
+    elapsed = sim.run_process(proc())
+    # request: 24B over two hops + latencies; target latency 1800;
+    # completions: 512 + 2*20 over two hops + latencies.
+    req = 24 / 3.8 + 150 + 24 / 7.6 + 150
+    cpl = 552 / 7.6 + 150 + 552 / 3.8 + 150
+    assert elapsed == pytest.approx(req + 1800 + cpl, rel=0.01)
+
+
+def test_read_larger_than_mrrs_rejected():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    with pytest.raises(SimulationError, match="MRRS"):
+        fab.read(nic, 0x200_0000_0000, 4096)
+
+
+def test_pipelined_read_beats_serial():
+    sim = Simulator()
+
+    def run(outstanding):
+        sim = Simulator()
+        fab, mem, nic, gpu = build_two_device_fabric(sim, read_latency=1000.0)
+
+        def proc():
+            t0 = sim.now
+            yield fab.read_pipelined(nic, 0x200_0000_0000, 64 * 1024, outstanding=outstanding)
+            return sim.now - t0
+
+        return sim.run_process(proc())
+
+    serial = run(1)
+    pipelined = run(8)
+    assert pipelined < serial / 3  # windowing must hide the round-trip
+
+
+def test_pipelined_read_on_data_callback_order():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    seen = []
+
+    def proc():
+        yield fab.read_pipelined(
+            nic,
+            0x200_0000_0000,
+            4096,
+            outstanding=2,
+            request_size=512,
+            on_data=lambda a, n: seen.append((a, n)),
+        )
+
+    sim.run_process(proc())
+    assert len(seen) == 8
+    assert [a for a, _ in seen] == sorted(a for a, _ in seen)
+    assert sum(n for _, n in seen) == 4096
+
+
+def test_reads_respect_target_rate_limiter():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim, read_latency=100.0, read_rate=GBps(0.15))
+
+    def proc():
+        t0 = sim.now
+        yield fab.read_pipelined(nic, 0x200_0000_0000, 64 * 1024, outstanding=16)
+        return sim.now - t0
+
+    elapsed = sim.run_process(proc())
+    bw = 64 * 1024 / elapsed
+    assert bw <= 0.15 * 1.001  # Fermi-BAR1-style limiter caps throughput
+
+
+def test_concurrent_writes_share_link_bandwidth():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    done = {}
+
+    def writer(tag):
+        t0 = sim.now
+        yield fab.write(nic, 0x200_0000_0000 + (0 if tag == "a" else 1 << 19), 256 * 1024)
+        done[tag] = sim.now - t0
+
+    sim.process(writer("a"))
+    sim.process(writer("b"))
+    sim.run()
+    # Two 256KiB writes through the same x8 uplink: each takes about twice
+    # as long as alone because quanta interleave.
+    alone = (256 * 1024 * (280 / 256)) / 3.8
+    assert done["a"] > alone * 1.5
+    assert done["b"] > alone * 1.8
+
+
+def test_bus_analyzer_sees_reads_and_completions():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim, read_latency=1800.0)
+    analyzer = BusAnalyzer(sim)
+    analyzer.attach(fab.link_of("gpu"))
+
+    def proc():
+        yield fab.read_pipelined(nic, 0x200_0000_0000, 8192, outstanding=4, request_size=512)
+
+    sim.run_process(proc())
+    reads = analyzer.of_kind(TlpKind.MEM_READ)
+    cpls = analyzer.of_kind(TlpKind.COMPLETION)
+    assert len(reads) == 16
+    assert len(cpls) == 16
+    timing = analyzer.phase_timing()
+    assert timing.head_latency >= 1800.0
+    assert timing.data_bytes == 8192
+    assert timing.request_count == 16
+
+
+def test_unattached_device_cannot_transact():
+    sim = Simulator()
+    fab, mem, nic, gpu = build_two_device_fabric(sim)
+    loose = SinkDevice(sim, "loose", base=0x300_0000_0000)
+    with pytest.raises(SimulationError, match="not attached"):
+        fab.write(loose, 0x200_0000_0000, 64)

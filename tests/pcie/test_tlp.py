@@ -1,0 +1,101 @@
+"""Unit tests for TLP framing math."""
+
+import pytest
+
+from repro.pcie import tlp
+
+
+def test_overheads():
+    assert tlp.tlp_overhead(tlp.TlpKind.MEM_WRITE) == 8 + 16
+    assert tlp.tlp_overhead(tlp.TlpKind.MEM_READ) == 8 + 16
+    assert tlp.tlp_overhead(tlp.TlpKind.COMPLETION) == 8 + 12
+
+
+def test_wire_size():
+    assert tlp.wire_size(tlp.TlpKind.MEM_WRITE, 256) == 256 + 24
+    assert tlp.wire_size(tlp.TlpKind.COMPLETION, 256) == 256 + 20
+
+
+def test_read_request_carries_no_payload():
+    with pytest.raises(ValueError):
+        tlp.wire_size(tlp.TlpKind.MEM_READ, 64)
+    assert tlp.wire_size(tlp.TlpKind.MEM_READ, 0) == 24
+
+
+def test_fragment_aligned():
+    chunks = list(tlp.fragment(0, 1024, 256))
+    assert chunks == [(0, 256), (256, 256), (512, 256), (768, 256)]
+
+
+def test_fragment_unaligned_start():
+    # First chunk is shortened to reach the natural boundary.
+    chunks = list(tlp.fragment(100, 600, 256))
+    assert chunks == [(100, 156), (256, 256), (512, 188)]
+    assert sum(n for _, n in chunks) == 600
+
+
+def test_fragment_small_transfer():
+    assert list(tlp.fragment(512, 64, 256)) == [(512, 64)]
+
+
+def test_fragment_zero():
+    assert list(tlp.fragment(0, 0, 256)) == []
+
+
+def test_fragment_rejects_bad_boundary():
+    with pytest.raises(ValueError):
+        list(tlp.fragment(0, 100, 3))
+    with pytest.raises(ValueError):
+        list(tlp.fragment(0, 100, 0))
+
+
+def test_fragment_covers_range_exactly():
+    chunks = list(tlp.fragment(777, 12345, 512))
+    assert chunks[0][0] == 777
+    assert sum(n for _, n in chunks) == 12345
+    # Contiguity
+    for (a1, n1), (a2, _) in zip(chunks, chunks[1:]):
+        assert a1 + n1 == a2
+    # No chunk crosses a boundary
+    for a, n in chunks:
+        assert (a // 512) == ((a + n - 1) // 512)
+
+
+def test_write_efficiency():
+    eff = tlp.write_efficiency(256)
+    assert eff == pytest.approx(256 / 280)
+    assert tlp.write_efficiency(128) < eff  # smaller MPS is less efficient
+
+
+def test_link_params_gen2():
+    p = tlp.LinkParams(gen=2, lanes=8)
+    assert p.raw_bandwidth == pytest.approx(4.0)  # 4 GB/s
+    assert p.effective_bandwidth == pytest.approx(4.0 * 0.95)
+
+
+def test_link_params_gen2_x4():
+    p = tlp.LinkParams(gen=2, lanes=4)
+    assert p.raw_bandwidth == pytest.approx(2.0)
+
+
+def test_link_params_gen1():
+    p = tlp.LinkParams(gen=1, lanes=16)
+    assert p.raw_bandwidth == pytest.approx(4.0)
+
+
+def test_link_params_unsupported_gen():
+    with pytest.raises(ValueError):
+        _ = tlp.LinkParams(gen=9, lanes=8).raw_bandwidth
+
+
+def test_tlp_size_property():
+    t = tlp.Tlp(tlp.TlpKind.MEM_WRITE, 0x1000, 256)
+    assert t.size == 280
+    r = tlp.Tlp(tlp.TlpKind.MEM_READ, 0x1000, 512)
+    assert r.size == 24  # request size does not ride the wire
+
+
+def test_tlp_tags_unique():
+    a = tlp.Tlp(tlp.TlpKind.MEM_READ, 0, 64)
+    b = tlp.Tlp(tlp.TlpKind.MEM_READ, 0, 64)
+    assert a.tag != b.tag

@@ -1,0 +1,142 @@
+"""Unit tests for Channel and RateLimiter."""
+
+import pytest
+
+from repro.sim import Channel, RateLimiter, SimulationError, Simulator
+from repro.units import GBps, us
+
+
+def test_channel_serialization_plus_latency():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=GBps(1.0), latency=us(1))  # 1 B/ns, 1000 ns
+
+    def proc():
+        yield ch.transfer(500)
+        return sim.now
+
+    # 500 ns wire + 1000 ns latency.
+    assert sim.run_process(proc()) == 1500.0
+
+
+def test_channel_transfers_serialize_but_latency_pipelines():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=GBps(1.0), latency=us(1))
+    arrivals = []
+
+    def sender(tag, nbytes):
+        yield ch.transfer(nbytes)
+        arrivals.append((tag, sim.now))
+
+    sim.process(sender("a", 1000))
+    sim.process(sender("b", 1000))
+    sim.run()
+    # a: wire [0,1000] + 1000 latency -> 2000; b: wire [1000,2000] + 1000 -> 3000
+    assert arrivals == [("a", 2000.0), ("b", 3000.0)]
+
+
+def test_channel_zero_byte_control_message():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=GBps(2.0), latency=100.0)
+
+    def proc():
+        yield ch.transfer(0)
+        return sim.now
+
+    assert sim.run_process(proc()) == 100.0
+
+
+def test_channel_payload_delivery_callback():
+    sim = Simulator()
+    received = []
+    ch = Channel(sim, bandwidth=GBps(1.0), latency=10.0, deliver=received.append)
+
+    def proc():
+        yield ch.transfer(100, payload="hello")
+
+    sim.run_process(proc())
+    assert received == ["hello"]
+
+
+def test_channel_bandwidth_accounting():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=GBps(1.0))
+
+    def proc():
+        for _ in range(10):
+            yield ch.transfer(1000)
+
+    sim.run_process(proc())
+    assert ch.total_bytes == 10_000
+    assert ch.total_transfers == 10
+    assert ch.utilization() == pytest.approx(1.0)
+
+
+def test_channel_never_exceeds_capacity():
+    """Aggregate delivered rate can never beat the configured bandwidth."""
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=GBps(0.5), latency=50.0)
+    done = []
+
+    def sender(n):
+        yield ch.transfer(n)
+        done.append((sim.now, n))
+
+    total = 0
+    for _ in range(20):
+        sim.process(sender(4096))
+        total += 4096
+    sim.run()
+    last_arrival = max(t for t, _ in done)
+    # All 20 transfers serialized at 0.5 B/ns plus one latency.
+    assert last_arrival == pytest.approx(total / 0.5 + 50.0)
+
+
+def test_channel_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Channel(sim, bandwidth=0)
+    with pytest.raises(SimulationError):
+        Channel(sim, bandwidth=1.0, latency=-5)
+    ch = Channel(sim, bandwidth=1.0)
+    with pytest.raises(SimulationError):
+        ch.transfer(-1)
+
+
+def test_channel_backlog_reporting():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=GBps(1.0))
+
+    def proc():
+        ch.transfer(1000)
+        assert ch.backlog == pytest.approx(1000.0)
+        yield sim.timeout(400)
+        assert ch.backlog == pytest.approx(600.0)
+
+    sim.run_process(proc())
+
+
+def test_rate_limiter_sustained_rate():
+    sim = Simulator()
+    rl = RateLimiter(sim, rate=GBps(1.536))  # Fermi P2P read engine rate
+
+    def proc():
+        for _ in range(4):
+            yield rl.consume(4096)
+        return sim.now
+
+    elapsed = sim.run_process(proc())
+    assert elapsed == pytest.approx(4 * 4096 / 1.536)
+
+
+def test_rate_limiter_idle_periods_not_credited():
+    """The limiter must not bank idle time (no burst above rate)."""
+    sim = Simulator()
+    rl = RateLimiter(sim, rate=1.0)
+
+    def proc():
+        yield sim.timeout(10_000)  # long idle
+        t0 = sim.now
+        yield rl.consume(100)
+        return sim.now - t0
+
+    assert sim.run_process(proc()) == pytest.approx(100.0)

@@ -1,0 +1,366 @@
+"""Unit tests for Resource, Store, ByteFifo and PacketFifo."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim import ByteFifo, PacketFifo, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def worker(tag, cost):
+        yield res.acquire()
+        start = sim.now
+        yield sim.timeout(cost)
+        res.release()
+        log.append((tag, start, sim.now))
+
+    sim.process(worker("a", 10))
+    sim.process(worker("b", 5))
+    sim.run()
+    assert log == [("a", 0.0, 10.0), ("b", 10.0, 15.0)]
+
+
+def test_resource_capacity_two_allows_overlap():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def worker(tag):
+        yield res.acquire()
+        yield sim.timeout(10)
+        res.release()
+        log.append((tag, sim.now))
+
+    for tag in "abc":
+        sim.process(worker(tag))
+    sim.run()
+    assert log == [("a", 10.0), ("b", 10.0), ("c", 20.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield res.acquire()
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release()
+
+    for tag in "abcdef":
+        sim.process(worker(tag))
+    sim.run()
+    assert order == list("abcdef")
+
+
+def test_resource_release_without_hold_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_utilization_accounting():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def worker():
+        yield res.acquire()
+        yield sim.timeout(30)
+        res.release()
+        yield sim.timeout(70)
+
+    sim.process(worker())
+    sim.run()
+    assert sim.now == 100.0
+    assert res.busy_time() == pytest.approx(30.0)
+    assert res.utilization() == pytest.approx(0.3)
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        got = []
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+        return got
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (sim.now, item)
+
+    def producer():
+        yield sim.timeout(25)
+        yield store.put("late")
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == (25.0, "late")
+
+
+def test_store_capacity_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer():
+        for i in range(2):
+            yield store.put(i)
+            times.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(10)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times == [0.0, 10.0]
+
+
+# ---------------------------------------------------------------------------
+# ByteFifo
+# ---------------------------------------------------------------------------
+
+
+def test_bytefifo_put_then_get():
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=100)
+
+    def proc():
+        yield fifo.put(60)
+        assert fifo.level == 60
+        yield fifo.get(60)
+        assert fifo.level == 0
+
+    sim.run_process(proc())
+
+
+def test_bytefifo_backpressure():
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=100)
+    events = []
+
+    def producer():
+        yield fifo.put(80)
+        events.append(("put80", sim.now))
+        yield fifo.put(80)  # only fits after consumer drains
+        events.append(("put80b", sim.now))
+
+    def consumer():
+        yield sim.timeout(50)
+        yield fifo.get(80)
+        events.append(("got80", sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert events == [("put80", 0.0), ("got80", 50.0), ("put80b", 50.0)]
+
+
+def test_bytefifo_get_blocks_until_enough_bytes():
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=1000)
+
+    def consumer():
+        yield fifo.get(100)
+        return sim.now
+
+    def producer():
+        yield sim.timeout(10)
+        yield fifo.put(50)
+        yield sim.timeout(10)
+        yield fifo.put(50)
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == 20.0
+
+
+def test_bytefifo_get_upto_partial():
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=1000)
+
+    def proc():
+        yield fifo.put(30)
+        taken = yield fifo.get_upto(100)
+        return taken
+
+    assert sim.run_process(proc()) == 30
+
+
+def test_bytefifo_oversized_put_rejected():
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=100)
+    with pytest.raises(SimulationError, match="exceeds"):
+        fifo.put(101)
+
+
+def test_bytefifo_conservation_counters():
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=64)
+
+    def producer():
+        for _ in range(10):
+            yield fifo.put(32)
+
+    def consumer():
+        for _ in range(10):
+            yield fifo.get(32)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert fifo.total_in == 320
+    assert fifo.total_out == 320
+    assert fifo.level == 0
+    assert fifo.peak_level <= 64
+
+
+def test_bytefifo_head_of_line_put_blocking():
+    """A blocked head producer must block later producers (FIFO discipline)."""
+    sim = Simulator()
+    fifo = ByteFifo(sim, capacity=100)
+    order = []
+
+    def p1():
+        yield fifo.put(90)
+        yield fifo.put(90)  # blocks: only 10 free
+        order.append("p1-second")
+
+    def p2():
+        yield sim.timeout(1)
+        yield fifo.put(5)  # would fit, but must queue behind p1's put
+        order.append("p2")
+
+    def consumer():
+        yield sim.timeout(10)
+        yield fifo.get(90)
+
+    sim.process(p1())
+    sim.process(p2())
+    sim.process(consumer())
+    sim.run()
+    assert order == ["p1-second", "p2"]
+
+
+# ---------------------------------------------------------------------------
+# PacketFifo
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pkt:
+    size: int
+    tag: str = ""
+
+
+def test_packetfifo_fifo_order():
+    sim = Simulator()
+    fifo = PacketFifo(sim, capacity=1000)
+
+    def producer():
+        for i in range(4):
+            yield fifo.put(Pkt(10, f"p{i}"))
+
+    def consumer():
+        tags = []
+        for _ in range(4):
+            pkt = yield fifo.get()
+            tags.append(pkt.tag)
+        return tags
+
+    sim.process(producer())
+    assert sim.run_process(consumer()) == ["p0", "p1", "p2", "p3"]
+
+
+def test_packetfifo_blocks_when_full():
+    sim = Simulator()
+    fifo = PacketFifo(sim, capacity=100)
+    times = []
+
+    def producer():
+        yield fifo.put(Pkt(70))
+        times.append(sim.now)
+        yield fifo.put(Pkt(70))
+        times.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(33)
+        yield fifo.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times == [0.0, 33.0]
+
+
+def test_packetfifo_oversized_packet_needs_empty_fifo():
+    sim = Simulator()
+    fifo = PacketFifo(sim, capacity=100)
+    log = []
+
+    def producer():
+        yield fifo.put(Pkt(50, "small"))
+        yield fifo.put(Pkt(200, "huge"))  # exceeds capacity: waits for empty
+        log.append(sim.now)
+
+    def consumer():
+        yield sim.timeout(5)
+        yield fifo.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert log == [5.0]
+    assert fifo.level == 200
+
+
+def test_packetfifo_level_tracks_sizes():
+    sim = Simulator()
+    fifo = PacketFifo(sim, capacity=1000)
+
+    def proc():
+        yield fifo.put(Pkt(100))
+        yield fifo.put(Pkt(250))
+        assert fifo.level == 350
+        yield fifo.get()
+        assert fifo.level == 250
+        assert fifo.peak_level == 350
+
+    sim.run_process(proc())

@@ -1,0 +1,52 @@
+"""Whole-stack determinism: identical runs produce identical timelines.
+
+The simulation kernel promises deterministic execution (tie-breaking by
+schedule order); these tests pin that promise at the highest level, where
+any hidden iteration-order or randomness bug would surface.
+"""
+
+import numpy as np
+
+from repro.apenet import BufferKind
+from repro.apps.bfs import BfsConfig, run_bfs
+from repro.apps.hsg import HsgConfig, run_hsg
+from repro.bench.microbench import (
+    pingpong_latency,
+    staged_unidirectional_bandwidth,
+    unidirectional_bandwidth,
+)
+from repro.units import kib, mib
+
+
+def test_bandwidth_test_is_deterministic():
+    a = unidirectional_bandwidth(BufferKind.GPU, BufferKind.GPU, kib(256), n_messages=6)
+    b = unidirectional_bandwidth(BufferKind.GPU, BufferKind.GPU, kib(256), n_messages=6)
+    assert a.bandwidth == b.bandwidth
+    assert a.duration == b.duration
+
+
+def test_latency_test_is_deterministic():
+    a = pingpong_latency(BufferKind.HOST, BufferKind.GPU, 512)
+    b = pingpong_latency(BufferKind.HOST, BufferKind.GPU, 512)
+    assert a.half_rtt == b.half_rtt
+
+
+def test_staged_path_is_deterministic():
+    a = staged_unidirectional_bandwidth(kib(64), n_messages=8)
+    b = staged_unidirectional_bandwidth(kib(64), n_messages=8)
+    assert a.bandwidth == b.bandwidth
+
+
+def test_hsg_timing_and_physics_deterministic():
+    r1 = run_hsg(HsgConfig(L=16, np_=4, sweeps=2, validate=True, seed=3))
+    r2 = run_hsg(HsgConfig(L=16, np_=4, sweeps=2, validate=True, seed=3))
+    assert r1.total_time_ns == r2.total_time_ns
+    np.testing.assert_array_equal(r1.spins, r2.spins)
+
+
+def test_bfs_full_pipeline_deterministic():
+    r1 = run_bfs(BfsConfig(scale=12, np_=4, seed=5, validate=True))
+    r2 = run_bfs(BfsConfig(scale=12, np_=4, seed=5, validate=True))
+    assert r1.total_time_ns == r2.total_time_ns
+    np.testing.assert_array_equal(r1.parents, r2.parents)
+    assert [b.t_comm_ns for b in r1.breakdown] == [b.t_comm_ns for b in r2.breakdown]

@@ -1,0 +1,69 @@
+"""Tests for the LogP model extraction (Fig 10's framework)."""
+
+import pytest
+
+from repro.apenet import BufferKind
+from repro.models import LogPParameters, extract_logp
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+
+@pytest.fixture(scope="module")
+def hh_params():
+    return extract_logp(H, H)
+
+
+@pytest.fixture(scope="module")
+def gg_params():
+    return extract_logp(G, G)
+
+
+def test_parameters_are_positive(hh_params):
+    p = hh_params
+    assert p.L > 0 and p.o > 0 and p.g > 0 and p.G > 0
+
+
+def test_hh_bandwidth_matches_plateau(hh_params):
+    # 1/G is the long-message bandwidth: the 1.2 GB/s H-H plateau.
+    assert 1.0 / hh_params.G == pytest.approx(1.26, rel=0.1)
+
+
+def test_gg_overhead_exceeds_hh(hh_params, gg_params):
+    """Fig 10: the GPU path costs the sender more per message."""
+    assert gg_params.o > hh_params.o * 1.5
+
+
+def test_gap_at_least_overhead(hh_params, gg_params):
+    # You can never stream faster than the sender-side bottleneck allows.
+    for p in (hh_params, gg_params):
+        assert p.g >= p.o * 0.5
+
+
+def test_predict_send_time_is_consistent(hh_params):
+    p = hh_params
+    t = p.predict_send_time(128)
+    assert t == pytest.approx(p.o + p.L + 128 * p.G)
+
+
+def test_predict_stream_rate_small_vs_large(hh_params):
+    p = hh_params
+    # Small messages are gap-limited; large are bandwidth-limited.
+    assert p.predict_stream_rate(32) == pytest.approx(32 / p.g)
+    big = 1 << 20
+    assert p.predict_stream_rate(big) == pytest.approx(1.0 / p.G)
+
+
+def test_prediction_tracks_simulation(hh_params):
+    """The fitted model must predict the measured H-H bandwidth curve."""
+    from repro.bench.microbench import unidirectional_bandwidth
+
+    for size in (4096, 65536):
+        measured = unidirectional_bandwidth(H, H, size, n_messages=32).bandwidth
+        predicted = hh_params.predict_stream_rate(size)
+        assert predicted == pytest.approx(measured, rel=0.45)
+
+
+def test_predict_exchange_monotone(hh_params):
+    p = hh_params
+    assert p.predict_exchange(4096, 10) < p.predict_exchange(4096, 20)
+    assert p.predict_exchange(1024, 5) < p.predict_exchange(65536, 5)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units as u
+
+
+def test_time_constants():
+    assert u.us(1) == 1000.0
+    assert u.ms(1) == 1_000_000.0
+    assert u.seconds(1) == 1_000_000_000.0
+    assert u.ns(5) == 5.0
+
+
+def test_time_round_trips():
+    assert u.to_us(u.us(3.5)) == pytest.approx(3.5)
+    assert u.to_ms(u.ms(2)) == pytest.approx(2)
+    assert u.to_seconds(u.seconds(0.25)) == pytest.approx(0.25)
+
+
+def test_bandwidth_identity_design():
+    # 1 GB/s == 1 byte/ns by construction.
+    assert u.GBps(1.0) == 1.0
+    assert u.MBps(1536) == pytest.approx(1.536)
+    assert u.Gbps(28) == pytest.approx(3.5)
+
+
+def test_bandwidth_reporting():
+    assert u.bw_to_MBps(u.MBps(600)) == pytest.approx(600)
+    assert u.bw_to_GBps(u.GBps(2.4)) == pytest.approx(2.4)
+
+
+def test_size_constants():
+    assert u.kib(4) == 4096
+    assert u.mib(4) == 4 * 1024 * 1024
+    assert u.KiB == 1024
+
+
+def test_fmt_size():
+    assert u.fmt_size(512) == "512B"
+    assert u.fmt_size(4096) == "4KiB"
+    assert u.fmt_size(32 * 1024) == "32KiB"
+    assert u.fmt_size(4 * 1024 * 1024) == "4MiB"
+    assert u.fmt_size(1536) == "1.5KiB"
+
+
+def test_fmt_time():
+    assert u.fmt_time(500) == "500ns"
+    assert u.fmt_time(u.us(1.8)) == "1.80us"
+    assert u.fmt_time(u.ms(3.25)) == "3.250ms"
+    assert u.fmt_time(u.seconds(1.5)) == "1.5000s"
+
+
+def test_fmt_bw():
+    assert u.fmt_bw(u.MBps(600)) == "600 MB/s"
+    assert u.fmt_bw(u.GBps(2.4)) == "2.40 GB/s"
+
+
+def test_parse_size():
+    assert u.parse_size("4K") == 4096
+    assert u.parse_size("32KB") == 32 * 1024
+    assert u.parse_size("4MB") == 4 * 1024 * 1024
+    assert u.parse_size("4MiB") == 4 * 1024 * 1024
+    assert u.parse_size("32") == 32
+    assert u.parse_size("32B") == 32
+    assert u.parse_size("1G") == 1024**3
+
+
+def test_parse_size_rejects_garbage():
+    with pytest.raises(ValueError):
+        u.parse_size("KB")
+    with pytest.raises(ValueError):
+        u.parse_size("12XB")
