@@ -12,7 +12,7 @@ from repro.bench.microbench import (
     staged_unidirectional_bandwidth,
     unidirectional_bandwidth,
 )
-from repro.units import KiB, MiB, kib, mib
+from repro.units import KiB, kib, mib
 
 H, G = BufferKind.HOST, BufferKind.GPU
 

@@ -2,26 +2,51 @@
 """Run every registered experiment and write a measured-results report.
 
 Usage:
-    python scripts/run_all_experiments.py [--full] [-o report.md]
+    python scripts/run_all_experiments.py [--full] [--jobs N] [--no-cache]
+                                          [-o report.md] [--json PATH]
 
 Quick mode takes a few minutes; ``--full`` runs the paper's exact
-parameters (the scale-20 BFS table dominates, ~10 minutes).  The output
-is the raw data behind EXPERIMENTS.md.
+parameters (the scale-20 BFS table dominates, ~10 minutes).  Experiments
+fan out over ``--jobs`` worker processes and unchanged experiments are
+served from the on-disk result cache (disable with ``--no-cache``).  The
+markdown output is the raw data behind EXPERIMENTS.md; the JSON artifact
+(default ``results/run-<id>.json``) carries per-experiment wall-clock and
+event-count telemetry for CI.
 """
 
 import argparse
 import sys
-import time
 
-from repro.bench import all_ids, run
+from repro.bench.runner import default_run_id, run_experiments, write_json
+from repro.bench.harness import all_ids
 from repro.bench.tables import fmt_ratio
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--full", action="store_true")
+    ap.add_argument("-j", "--jobs", type=int, default=1, metavar="N")
+    ap.add_argument("--no-cache", action="store_true")
     ap.add_argument("-o", "--output", default="experiments_measured.md")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="JSON artifact path (default: results/run-<id>.json)")
     args = ap.parse_args(argv)
+    if args.jobs < 1:
+        ap.error(f"--jobs must be >= 1, got {args.jobs}")
+    quick = not args.full
+
+    def progress(record):
+        tag = "cached" if record.cached else f"{record.wall_s:.1f}s"
+        suffix = "  FAILED" if record.status == "error" else ""
+        print(f"[{record.experiment_id}] {tag}, {record.events} events{suffix}")
+
+    records = run_experiments(
+        all_ids(),
+        quick=quick,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
 
     lines = [
         "# Measured experiment results",
@@ -29,16 +54,19 @@ def main(argv=None) -> int:
         f"Mode: {'full (paper parameters)' if args.full else 'quick'}",
         "",
     ]
-    for exp_id in all_ids():
-        t0 = time.time()
-        result = run(exp_id, quick=not args.full)
-        dt = time.time() - t0
-        print(f"[{exp_id}] done in {dt:.1f}s")
-        lines += [f"## {exp_id} — {result.title}", "", "```", result.rendered, "```", ""]
-        if result.comparisons:
+    failed = []
+    for record in records:
+        if record.status == "error":
+            failed.append(record)
+            lines += [f"## {record.experiment_id} — FAILED", "", "```",
+                      record.error or "", "```", ""]
+            continue
+        lines += [f"## {record.experiment_id} — {record.title}", "", "```",
+                  record.rendered, "```", ""]
+        if record.comparisons:
             lines.append("| quantity | measured | paper | dev |")
             lines.append("|---|---|---|---|")
-            for name, measured, paper, unit in result.comparisons:
+            for name, measured, paper, unit in record.comparisons:
                 paper_s = f"{paper:.4g} {unit}" if paper else "n.a."
                 lines.append(
                     f"| {name} | {measured:.4g} {unit} | {paper_s} | "
@@ -48,6 +76,15 @@ def main(argv=None) -> int:
     with open(args.output, "w") as fh:
         fh.write("\n".join(lines))
     print(f"wrote {args.output}")
+
+    json_path = args.json or f"results/run-{default_run_id()}.json"
+    write_json(records, json_path, quick=quick, jobs=args.jobs)
+    print(f"wrote {json_path}")
+
+    if failed:
+        print(f"{len(failed)} experiment(s) FAILED: "
+              + ", ".join(r.experiment_id for r in failed))
+        return 1
     return 0
 
 

@@ -15,7 +15,7 @@ cluster builder.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..gpu.device import GPUDevice
 from ..net.topology import Coord, TorusShape

@@ -21,7 +21,6 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
-import numpy as np
 
 from ..cuda.runtime import CudaRuntime
 from ..net.packet import MessageInfo, next_message_id
@@ -218,7 +217,7 @@ class ApenetEndpoint:
         arrival = Event(self.sim)
         self._get_waiting[get_id] = arrival
         target = self._peers[src_rank]
-        done = yield from self.put(
+        yield from self.put(
             src_rank,
             self._fw_scratch.addr,
             target._fw_mailbox.addr,

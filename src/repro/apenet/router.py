@@ -21,7 +21,7 @@ from typing import Callable, Optional
 
 from ..net.packet import ApePacket
 from ..net.topology import Coord, TorusShape
-from ..sim import PacketFifo, Simulator, Store
+from ..sim import PacketFifo, Simulator
 from .config import ApenetConfig
 from .torus import TorusLink, TorusPort
 

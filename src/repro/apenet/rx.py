@@ -17,7 +17,7 @@ completion event is posted to the host event queue.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..net.packet import ApePacket
 from ..sim import Event, PacketFifo, Simulator

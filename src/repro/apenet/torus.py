@@ -14,8 +14,6 @@ card has equivalent machinery in its link blocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
 
 from ..net.packet import ApePacket
 from ..sim import ByteFifo, Channel, Simulator, Store

@@ -27,7 +27,7 @@ serial :class:`~repro.apps.hsg.lattice.SpinLattice`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -333,7 +333,6 @@ def _apenet_exchange(
 ):
     """One parity's halo exchange on the APEnet transport."""
     node = st.node
-    L = cfg.L
     expected = 2 * st.n_chunks  # messages arriving at this rank
     sends = []
     for d, peer in (("down", down), ("up", up)):
@@ -381,7 +380,7 @@ def _apenet_exchange(
             sends.append(done)
     # Wait for all expected halo chunks.
     for _ in range(expected):
-        rec = yield from ep.wait_event()
+        yield from ep.wait_event()
     if cfg.p2p_mode == "off":
         # Drain the host bounces into GPU memory.
         for d in ("down", "up"):

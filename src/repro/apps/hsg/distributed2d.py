@@ -31,7 +31,7 @@ from ...net.cluster import build_apenet_cluster
 from ...net.topology import TorusShape
 from ...sim import Simulator
 from ...units import Gbps, KiB, us
-from .distributed import HsgResult, _face_parity_mask  # reuse result type
+from .distributed import HsgResult  # reuse result type
 from .lattice import SpinLattice, overrelax_spins
 from .perf import SPIN_BYTES, HsgKernelModel
 

@@ -2,6 +2,7 @@
 
 from .figures import Series, ascii_plot, render_series_table, series_to_csv
 from .harness import Experiment, ExperimentResult, all_ids, get, register, run
+from .runner import ResultCache, RunRecord, cache_key, run_experiments, write_json
 from .tables import fmt_ratio, render_table
 
 __all__ = [
@@ -11,6 +12,11 @@ __all__ = [
     "get",
     "run",
     "all_ids",
+    "RunRecord",
+    "ResultCache",
+    "cache_key",
+    "run_experiments",
+    "write_json",
     "render_table",
     "fmt_ratio",
     "Series",

@@ -10,7 +10,7 @@ performance bottleneck") falls out of a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..net.cluster import ApenetCluster
 from .tables import render_table

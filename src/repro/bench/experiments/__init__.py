@@ -1,3 +1,14 @@
 """Experiment modules — importing this package registers all of them."""
 
-from . import ablations, bfs, extensions, fig3, fig45, fig67, fig8910, hsg, table1  # noqa: F401
+from . import (  # noqa: F401
+    ablations,
+    bfs,
+    extensions,
+    fig3,
+    fig45,
+    fig67,
+    fig8910,
+    hsg,
+    selftest,
+    table1,
+)

@@ -6,7 +6,7 @@ import os
 
 from ...apps.bfs import BfsConfig, run_bfs
 from ..harness import ExperimentResult, register
-from ..tables import fmt_ratio, render_table
+from ..tables import render_table
 
 # Table IV: NP -> (APEnet TEPS, IB TEPS), |V| = 2^20.
 PAPER_TABLE4 = {

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from ...apenet.buflist import BufferKind
 from ...apps.hsg import HsgConfig, run_hsg

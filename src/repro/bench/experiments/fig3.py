@@ -13,7 +13,7 @@ from ...apenet.buflist import BufferKind
 from ...apenet.config import GpuTxVersion
 from ...gpu.p2p import REQUEST_DESCRIPTOR_BYTES
 from ...pcie.analyzer import BusAnalyzer
-from ...units import KiB, mib, us
+from ...units import KiB, mib
 from ..harness import ExperimentResult, register
 from ..microbench import make_cluster
 from ..tables import fmt_ratio, render_table

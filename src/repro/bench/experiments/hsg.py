@@ -5,7 +5,7 @@ from __future__ import annotations
 from ...apps.hsg import HsgConfig, run_hsg
 from ..figures import Series, render_series_table
 from ..harness import ExperimentResult, register
-from ..tables import fmt_ratio, render_table
+from ..tables import render_table
 
 # Table II (L=256, P2P=ON): NP -> (Ttot, Tbnd+Tnet, Tnet) in ps/spin.
 PAPER_TABLE2 = {1: (921, 11, None), 2: (416, 108, 97), 4: (202, 119, 113), 8: (148, 148, 141)}

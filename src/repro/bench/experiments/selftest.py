@@ -1,0 +1,155 @@
+"""DES kernel self-benchmark: measures the simulator's own hot path.
+
+Not a paper artefact — this experiment benchmarks the machinery every
+other experiment runs on.  It times one identical workload twice:
+
+* **fast path** — :meth:`Simulator.run`, the inlined drain loop with
+  pre-bound heap locals and the dedicated Timeout scheduling path;
+* **generic path** — the same workload driven one event at a time through
+  :meth:`Simulator.step`, the un-inlined reference implementation (the
+  seed kernel's per-event machinery).
+
+It also quantifies the optional back-to-back TLP batching of
+:meth:`PCIeFabric.write` as a simulated-event reduction factor.
+
+Wall-clock numbers (and the speedup) appear only in the rendered output —
+``comparisons`` carries exclusively deterministic quantities (event
+counts, parity checks, reduction factors) so that cached, serial and
+parallel sweeps stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ...pcie.device import HostMemory
+from ...pcie.fabric import PCIeFabric
+from ...sim import Channel, Simulator
+from ..harness import ExperimentResult, register
+from ..tables import render_table
+
+__all__ = ["kernel_workload", "time_kernel", "batching_events"]
+
+
+def kernel_workload(sim: Simulator, n_procs: int, n_steps: int) -> None:
+    """A representative mix of timeouts, event waits, and channel traffic.
+
+    Deterministic: delays derive only from loop indices.  Roughly matches
+    the real experiments' event profile — mostly Timeouts (firmware costs,
+    link serialization) with a sprinkling of triggered Events (completion
+    notifications) and Channel transfers.
+    """
+    ch = Channel(sim, bandwidth=4.0, latency=120.0, name="selftest-link")
+    rendezvous = [sim.event() for _ in range(n_procs // 4 or 1)]
+
+    def worker(i):
+        for k in range(n_steps):
+            yield sim.timeout((i % 13) + 0.5 * (k % 7))
+            # Fire-and-forget notification nobody joins on (posted-write
+            # completions, flushed packets): pure kernel dispatch.
+            sim.timeout(0.25 * (k % 5))
+            if k % 16 == 0:
+                yield ch.transfer(512 + 64 * (i % 8))
+        ev = rendezvous[i % len(rendezvous)]
+        if not ev.triggered:
+            ev.succeed(i)
+
+    def waiter(j):
+        yield rendezvous[j]
+
+    for j in range(len(rendezvous)):
+        sim.process(waiter(j))
+    for i in range(n_procs):
+        sim.process(worker(i))
+
+
+def time_kernel(n_procs: int, n_steps: int, generic: bool, repeats: int = 3):
+    """Best-of-*repeats* wall time (s) and event count for the workload."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        sim = Simulator()
+        kernel_workload(sim, n_procs, n_steps)
+        t0 = time.perf_counter()
+        if generic:
+            while sim._heap:
+                sim.step()
+        else:
+            sim.run()
+        best = min(best, time.perf_counter() - t0)
+        events = sim.events_processed
+    return best, events
+
+
+def batching_events(batch: int, nbytes: int = 1 << 19):
+    """(final time, events) for one bulk posted write at *batch*."""
+    sim = Simulator()
+    fabric = PCIeFabric(sim, write_batch=batch)
+    root = fabric.add_root()
+    src = HostMemory(sim, base=0x0, size=1 << 20, name="selftest-src")
+    dst = HostMemory(sim, base=1 << 30, size=1 << 20, name="selftest-dst")
+    fabric.add_endpoint(src, root)
+    fabric.add_endpoint(dst, root)
+    done = fabric.write(src, 1 << 30, nbytes)
+    sim.run()
+    assert done.processed and done.value == nbytes
+    return sim.now, sim.events_processed
+
+
+@register("selftest", "DES kernel self-benchmark (fast path vs generic path)", "—")
+def run_selftest(quick: bool) -> ExperimentResult:
+    """Time the DES kernel's inlined run loop against the generic
+    ``step()`` reference on one identical workload, and quantify the
+    event-count reduction of batched TLP write scheduling."""
+    n_procs, n_steps = (240, 120) if quick else (600, 400)
+
+    fast_s, fast_events = time_kernel(n_procs, n_steps, generic=False)
+    generic_s, generic_events = time_kernel(n_procs, n_steps, generic=True)
+    speedup = generic_s / fast_s if fast_s > 0 else float("inf")
+    events_per_s = fast_events / fast_s if fast_s > 0 else float("inf")
+
+    t_plain, ev_plain = batching_events(batch=1)
+    t_batched, ev_batched = batching_events(batch=8)
+    reduction = ev_plain / ev_batched
+    time_shift = 100.0 * (t_batched - t_plain) / t_plain
+
+    rows = [
+        ["fast path (run loop)", f"{fast_s * 1e3:.1f} ms", f"{fast_events}"],
+        ["generic path (step loop)", f"{generic_s * 1e3:.1f} ms", f"{generic_events}"],
+        ["speedup", f"{speedup:.2f}x", "—"],
+        ["throughput (fast)", f"{events_per_s / 1e6:.2f} Mev/s", "—"],
+        ["write batch=1", f"t={t_plain:.0f} ns", f"{ev_plain}"],
+        ["write batch=8", f"t={t_batched:.0f} ns", f"{ev_batched}"],
+        ["batching event reduction", f"{reduction:.2f}x", "—"],
+    ]
+    rendered = render_table(
+        ["measurement", "value", "events"],
+        rows,
+        title=f"DES kernel selftest ({n_procs} procs x {n_steps} steps)",
+    )
+
+    # Deterministic rows only (see module docstring).
+    comparisons = [
+        ("kernel events, fast path", float(fast_events), None, "events"),
+        (
+            "fast/generic event parity",
+            1.0 if fast_events == generic_events else 0.0,
+            1.0,
+            "bool",
+        ),
+        ("TLP batching event reduction (batch=8)", reduction, None, "x"),
+        ("TLP batching completion-time shift", time_shift, None, "%"),
+    ]
+    return ExperimentResult(
+        experiment_id="selftest",
+        title="DES kernel self-benchmark (fast path vs generic path)",
+        rendered=rendered,
+        comparisons=comparisons,
+        data={
+            "fast_s": fast_s,
+            "generic_s": generic_s,
+            "speedup": speedup,
+            "events_per_s": events_per_s,
+            "batch_events": {"1": ev_plain, "8": ev_batched},
+        },
+    )

@@ -27,7 +27,7 @@ from ..apenet.buflist import BufferKind
 from ..apenet.config import DEFAULT_CONFIG, ApenetConfig
 from ..cuda.memcpy import memcpy_async, memcpy_sync
 from ..cuda.stream import CudaStream
-from ..net.cluster import ApenetCluster, build_apenet_cluster
+from ..net.cluster import build_apenet_cluster
 from ..net.topology import TorusShape
 from ..sim import Simulator
 from ..units import KiB, MiB, us

@@ -1,0 +1,302 @@
+"""Parallel experiment execution with on-disk result caching.
+
+The registry in :mod:`repro.bench.harness` holds fully independent
+experiments (each builds its own :class:`~repro.sim.Simulator`), so a full
+reproduction sweep is embarrassingly parallel.  This module provides:
+
+* :func:`run_experiments` — fan the requested experiments out over worker
+  processes (``jobs > 1``) or run them in-process (``jobs == 1``), with
+  per-experiment wall-clock and simulated-event telemetry;
+* :class:`ResultCache` — an on-disk JSON cache keyed by a hash of the
+  experiment id, quick/full flag, every calibration constant, and the
+  package version, so unchanged experiments are skipped on re-runs;
+* :func:`write_json` — the ``results/run-<id>.json`` artifact consumed by
+  CI.
+
+Determinism: the simulation is seedless and deterministic, so a given
+(experiment, quick, calibration, version) tuple always produces identical
+``comparisons`` rows — which is what makes the cache sound and lets CI
+assert that parallel and serial sweeps agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from .. import __version__
+from ..apenet.config import DEFAULT_CONFIG
+from ..sim import kernel_event_count
+from . import harness
+
+__all__ = [
+    "RunRecord",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "run_experiments",
+    "write_json",
+]
+
+#: Default location of the cache, relative to the working directory.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+#: Keys a cached payload must carry to be considered intact.
+_REQUIRED_PAYLOAD_KEYS = frozenset(
+    {"experiment_id", "title", "rendered", "comparisons", "wall_s", "events"}
+)
+
+
+@dataclass
+class RunRecord:
+    """Outcome + telemetry of one experiment in a sweep."""
+
+    experiment_id: str
+    title: str = ""
+    status: str = "ok"  # "ok" | "cached" | "error"
+    wall_s: float = 0.0  # wall-clock of the (original) execution
+    events: int = 0  # simulated events processed by the execution
+    cached: bool = False
+    comparisons: list = field(default_factory=list)
+    rendered: str = ""
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (tuples normalised to lists)."""
+        d = asdict(self)
+        d["comparisons"] = [list(row) for row in self.comparisons]
+        return d
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+def cache_key(experiment_id: str, quick: bool) -> str:
+    """Content hash identifying one experiment execution.
+
+    Covers the experiment id, the quick/full flag, every calibration
+    constant of :data:`~repro.apenet.config.DEFAULT_CONFIG`, and the
+    package version — any change to model constants or code version
+    invalidates all cached results.
+    """
+    ident = {
+        "experiment": experiment_id,
+        "quick": bool(quick),
+        "calibration": asdict(DEFAULT_CONFIG),
+        "version": __version__,
+    }
+    blob = json.dumps(ident, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """The cache location (overridable via ``REPRO_CACHE_DIR``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", str(DEFAULT_CACHE_DIR)))
+
+
+class ResultCache:
+    """On-disk JSON store of experiment payloads, one file per key.
+
+    Corrupted or truncated files (interrupted writers, disk trouble) are
+    treated as misses and silently overwritten by the next store.
+    """
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """Where *key*'s payload lives."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for *key*, or None on miss/corruption."""
+        path = self.path(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or not _REQUIRED_PAYLOAD_KEYS <= payload.keys():
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store *payload* under *key* (atomic: tmp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _execute(experiment_id: str, quick: bool) -> dict:
+    """Run one experiment in this process; always returns a payload dict."""
+    t0 = time.perf_counter()
+    ev0 = kernel_event_count()
+    try:
+        result = harness.run(experiment_id, quick=quick)
+    except Exception:
+        return {
+            "experiment_id": experiment_id,
+            "error": traceback.format_exc(),
+            "wall_s": time.perf_counter() - t0,
+            "events": kernel_event_count() - ev0,
+        }
+    return {
+        "experiment_id": experiment_id,
+        "title": result.title,
+        "rendered": result.rendered,
+        "comparisons": [list(row) for row in result.comparisons],
+        "wall_s": time.perf_counter() - t0,
+        "events": kernel_event_count() - ev0,
+    }
+
+
+def _worker(args: tuple) -> dict:
+    """Pool entry point (module-level for picklability)."""
+    experiment_id, quick = args
+    return _execute(experiment_id, quick)
+
+
+def _pool_context():
+    """Fork where available: workers inherit the loaded registry (including
+    experiments registered at runtime, e.g. by tests)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _record_from_payload(payload: dict, cached: bool) -> RunRecord:
+    if payload.get("error"):
+        return RunRecord(
+            experiment_id=payload["experiment_id"],
+            status="error",
+            wall_s=payload.get("wall_s", 0.0),
+            events=payload.get("events", 0),
+            error=payload["error"],
+        )
+    return RunRecord(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        status="cached" if cached else "ok",
+        wall_s=payload["wall_s"],
+        events=payload["events"],
+        cached=cached,
+        comparisons=[tuple(row) for row in payload["comparisons"]],
+        rendered=payload["rendered"],
+    )
+
+
+def run_experiments(
+    ids: Sequence[str],
+    quick: bool = True,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[Path | str] = None,
+    progress: Optional[Callable[[RunRecord], None]] = None,
+) -> list[RunRecord]:
+    """Run *ids*, fanning out over *jobs* worker processes.
+
+    Cache hits are resolved up front (never shipped to workers); the
+    remaining experiments run in-process for ``jobs == 1`` or through a
+    ``multiprocessing.Pool`` otherwise.  Results come back in the order of
+    *ids* regardless of *jobs*.  *progress*, if given, is called with each
+    :class:`RunRecord` as it lands.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    for exp_id in ids:
+        harness.get(exp_id)  # fail fast on unknown ids
+    cache = ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+
+    records: dict[str, RunRecord] = {}
+    pending: list[str] = []
+    for exp_id in ids:
+        payload = cache.get(cache_key(exp_id, quick)) if use_cache else None
+        if payload is not None:
+            records[exp_id] = _record_from_payload(payload, cached=True)
+            if progress:
+                progress(records[exp_id])
+        else:
+            pending.append(exp_id)
+
+    if pending:
+        work = [(exp_id, quick) for exp_id in pending]
+        if jobs == 1 or len(pending) == 1:
+            payloads = (_execute(exp_id, quick) for exp_id, quick in work)
+            for payload in payloads:
+                _land(payload, records, cache, use_cache, quick, progress)
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                for payload in pool.imap(_worker, work):
+                    _land(payload, records, cache, use_cache, quick, progress)
+
+    return [records[exp_id] for exp_id in ids]
+
+
+def _land(payload, records, cache, use_cache, quick, progress) -> None:
+    record = _record_from_payload(payload, cached=False)
+    records[record.experiment_id] = record
+    if use_cache and record.status == "ok":
+        cache.put(cache_key(record.experiment_id, quick), payload)
+    if progress:
+        progress(record)
+
+
+# ---------------------------------------------------------------------------
+# Artifact
+# ---------------------------------------------------------------------------
+
+
+def default_run_id() -> str:
+    """A timestamp-based id for the results artifact."""
+    return time.strftime("%Y%m%d-%H%M%S")
+
+
+def write_json(
+    records: Sequence[RunRecord],
+    path: Path | str,
+    quick: bool = True,
+    jobs: int = 1,
+    run_id: Optional[str] = None,
+) -> Path:
+    """Write the sweep's JSON artifact to *path* and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "run_id": run_id or default_run_id(),
+        "repro_version": __version__,
+        "mode": "quick" if quick else "full",
+        "jobs": jobs,
+        "total_wall_s": sum(r.wall_s for r in records if not r.cached),
+        "n_cached": sum(1 for r in records if r.cached),
+        "n_errors": sum(1 for r in records if r.status == "error"),
+        "records": [r.to_dict() for r in records],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    return path

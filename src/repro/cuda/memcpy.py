@@ -15,7 +15,6 @@ Real data moves whenever both sides have materialized backing arrays.
 from __future__ import annotations
 
 import enum
-from typing import Optional
 
 from ..sim import Event
 from .runtime import CudaRuntime

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Optional
 
 __all__ = ["MemoryType", "PointerAttributes", "P2PTokens"]
 

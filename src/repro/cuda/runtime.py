@@ -27,7 +27,7 @@ from ..gpu.device import GPUDevice
 from ..pcie.topology import Platform
 from ..sim import Simulator
 from .config import DEFAULT_COSTS, CudaCosts
-from .pointer import MemoryType, P2PTokens, PointerAttributes, make_p2p_tokens
+from .pointer import MemoryType, PointerAttributes, make_p2p_tokens
 
 __all__ = ["HostBuffer", "CudaRuntime"]
 

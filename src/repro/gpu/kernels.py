@@ -11,7 +11,6 @@ is handled by :mod:`repro.cuda.stream`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..sim import Event, Resource, Simulator
 from ..units import us

@@ -18,10 +18,9 @@ Externally visible constants (paper, Fig 3 / Table I):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-import numpy as np
 
 from ..sim import Event, RateLimiter, Simulator
 

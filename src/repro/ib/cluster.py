@@ -10,7 +10,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..cuda.runtime import CudaRuntime
 from ..gpu.device import GPUDevice

@@ -19,10 +19,9 @@ All caller-facing operations are generators (``yield from``); ``isend`` /
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..cuda.memcpy import memcpy_device_work
 from ..ib.cluster import IBCluster, IBClusterNode
 from ..sim import Event, Simulator
 from ..units import KiB, us
@@ -313,7 +312,7 @@ class MpiEndpoint:
         if self.rank == 0:
             acc = value
             for src in range(1, n):
-                req = yield from self.recv(src, scratch, 8, tag=(tag, "v", src))
+                yield from self.recv(src, scratch, 8, tag=(tag, "v", src))
                 acc = op(acc, self.world._collect_box.pop((tag, src)))
             for dst in range(1, n):
                 self.world._collect_box[(tag, "r", dst)] = acc

@@ -10,7 +10,6 @@ Buffers may live on the host or the GPU ("D D" mode in OMB terms).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..ib.cluster import build_ib_cluster
 from ..sim import Simulator

@@ -28,7 +28,6 @@ from typing import Any, Optional
 import numpy as np
 
 from ..apenet.buflist import BufferKind
-from ..sim import Event
 from ..units import us
 from .cluster import ApenetCluster
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..sim import Channel, RateLimiter, Simulator
+from ..sim import RateLimiter, Simulator
 
 __all__ = ["ReadBehavior", "WriteBehavior", "AddressWindow", "PCIeDevice", "HostMemory"]
 

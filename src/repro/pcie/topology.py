@@ -15,7 +15,6 @@ host memory device, and named attachment points for GPUs and NICs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..sim import Simulator
 from .device import HostMemory, PCIeDevice

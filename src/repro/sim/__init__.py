@@ -13,7 +13,16 @@ Public surface:
 """
 
 from .channel import Channel, RateLimiter
-from .core import AllOf, AnyOf, Event, Process, SimulationError, Simulator, Timeout
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+    kernel_event_count,
+)
 from .resources import ByteFifo, PacketFifo, Resource, Store
 from .stats import OnlineStats, TimeSeries, percentile
 from .trace import BandwidthMeter, TraceLog, TraceRecord
@@ -26,6 +35,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "kernel_event_count",
     "Resource",
     "Store",
     "ByteFifo",

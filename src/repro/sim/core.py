@@ -25,6 +25,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -35,7 +36,19 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "kernel_event_count",
 ]
+
+# Cumulative events processed by every Simulator in this interpreter.  The
+# benchmark runner samples this around an experiment to report event-count
+# telemetry without touching the per-event hot path (the counters are
+# updated in bulk when a run loop exits).
+_KERNEL_STATS = {"events": 0}
+
+
+def kernel_event_count() -> int:
+    """Total events processed by all Simulators in this process so far."""
+    return _KERNEL_STATS["events"]
 
 
 class SimulationError(RuntimeError):
@@ -129,19 +142,33 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Timeouts are the kernel's hottest allocation (every Channel transfer,
+    RateLimiter grant and firmware cost is one), so construction takes a
+    dedicated scheduling path: the event is born triggered and goes
+    straight onto the heap, skipping :meth:`Event.__init__` and
+    :meth:`Simulator._push`.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
-            raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+            raise SimulationError(
+                f"negative timeout delay {delay!r}: a process must not "
+                "schedule into the past (this would corrupt heap ordering)"
+            )
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self.delay = delay
         self._state = _TRIGGERED
-        sim._push(self, delay)
+        seq = sim._seq + 1
+        sim._seq = seq
+        self._seq = seq
+        heappush(sim._heap, (sim.now + delay, seq, self))
 
 
 class Process(Event):
@@ -151,13 +178,16 @@ class Process(Event):
     join on its completion; its value is the generator's return value.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_send", "_throw", "_waiting_on", "name")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
             raise SimulationError(f"process target must be a generator, got {gen!r}")
         self._gen = gen
+        # Pre-bound for the resume hot path (one resume per processed event).
+        self._send = gen.send
+        self._throw = gen.throw
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
         # Kick off at the current time.
@@ -174,9 +204,9 @@ class Process(Event):
         self._waiting_on = None
         try:
             if trigger._ok:
-                target = self._gen.send(trigger._value)
+                target = self._send(trigger._value)
             else:
-                target = self._gen.throw(trigger._value)
+                target = self._throw(trigger._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -267,11 +297,16 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop: a priority queue of (time, seq, event)."""
 
+    # Slots: `sim.now` is read on every transfer/timeout across the whole
+    # model, and slot access beats instance-dict lookup.
+    __slots__ = ("now", "_heap", "_seq", "_running", "events_processed")
+
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
+        self.events_processed = 0  # total events this simulator has run
 
     # -- factories -------------------------------------------------------------
 
@@ -298,28 +333,84 @@ class Simulator:
     # -- kernel -----------------------------------------------------------------
 
     def _push(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        event._seq = self._seq
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {event!r} with negative delay {delay!r}: "
+                "events must not be scheduled into the past (this would "
+                "corrupt heap ordering)"
+            )
+        seq = self._seq + 1
+        self._seq = seq
+        event._seq = seq
+        heappush(self._heap, (self.now + delay, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (the generic, un-inlined path).
+
+        :meth:`run` and :meth:`run_process` inline this logic with
+        pre-bound locals for speed; ``step()`` is kept as the reference
+        implementation for debuggers, lock-step co-simulation and the
+        ``selftest`` micro-benchmark's before/after baseline.  Both paths
+        must stay behaviourally identical.
+        """
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
         t, _, event = heapq.heappop(self._heap)
         if t < self.now - 1e-9:
             raise SimulationError(f"time went backwards: {t} < {self.now}")
         self.now = t
+        self.events_processed += 1
+        _KERNEL_STATS["events"] += 1
         had_waiters = bool(event.callbacks)
         event._process()
         # A process that crashed with nobody joined on it at crash time:
         # surface the error instead of losing it silently.
         if isinstance(event, Process) and not event._ok and not had_waiters:
             raise event._value
+
+    def _drain(self, until: Optional[float], watched: Optional[Event]) -> None:
+        """The inlined hot loop behind :meth:`run` / :meth:`run_process`.
+
+        Equivalent to ``while ...: self.step()`` but with the heap, the
+        pop and the event-dispatch machinery pre-bound to locals, and
+        :meth:`Event._process` inlined (every kernel event class uses the
+        base implementation).  Stops when the queue drains, the next event
+        lies beyond *until*, or *watched* leaves the pending state.
+        """
+        heap = self._heap
+        pop = heappop
+        now = self.now
+        unconditional = until is None and watched is None
+        n = 0
+        try:
+            while heap:
+                if not unconditional:
+                    if until is not None and heap[0][0] > until:
+                        break
+                    if watched is not None and watched._state != _PENDING:
+                        break
+                t, _, event = pop(heap)
+                if t != now:
+                    if t < now - 1e-9:
+                        raise SimulationError(f"time went backwards: {t} < {now}")
+                    self.now = now = t
+                n += 1
+                event._state = _PROCESSED
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+                elif not event._ok and isinstance(event, Process):
+                    # Crashed with nobody joined: surface, don't swallow.
+                    raise event._value
+        finally:
+            self.events_processed += n
+            _KERNEL_STATS["events"] += n
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock passes *until*.
@@ -332,13 +423,11 @@ class Simulator:
         self._running = True
         try:
             if until is None:
-                while self._heap:
-                    self.step()
+                self._drain(None, None)
             else:
                 if until < self.now:
                     raise SimulationError(f"until={until} is in the past (now={self.now})")
-                while self._heap and self._heap[0][0] <= until:
-                    self.step()
+                self._drain(until, None)
                 if self.now < until:
                     self.now = until
         finally:
@@ -351,8 +440,7 @@ class Simulator:
         concurrent processes keep running while it does).
         """
         proc = self.process(gen, name)
-        while proc._state == _PENDING and self._heap:
-            self.step()
+        self._drain(None, proc)
         if proc._state == _PENDING:
             raise SimulationError(f"deadlock: process {proc.name!r} never finished")
         if not proc._ok:

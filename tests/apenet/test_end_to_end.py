@@ -112,7 +112,7 @@ def test_host_to_gpu_and_gpu_to_host():
         yield done
         yield from n0.endpoint.wait_event()  # G->H arrival
 
-    p0 = sim.process(node0())
+    sim.process(node0())
     sim.process(node1())
     sim.run()
     assert gdst.data.min() == 5
@@ -193,7 +193,7 @@ def test_put_without_kind_flag_costs_pointer_query():
 
         def proc():
             kw = {"src_kind": BufferKind.HOST} if with_flag else {}
-            done = yield from n0.endpoint.put(1, src.addr, dst.addr, 256, **kw)
+            yield from n0.endpoint.put(1, src.addr, dst.addr, 256, **kw)
             return sim.now - t0
 
         return sim.run_process(proc())

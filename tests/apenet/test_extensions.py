@@ -12,7 +12,7 @@ from repro.bench.microbench import (
     unidirectional_bandwidth,
 )
 from repro.gpu import FERMI_2050, KEPLER_K20
-from repro.units import MBps, kib, mib, us
+from repro.units import kib, mib, us
 
 H, G = BufferKind.HOST, BufferKind.GPU
 

@@ -1,7 +1,5 @@
 """Tests for nodes with multiple GPUs behind one APEnet+ card."""
 
-import numpy as np
-import pytest
 
 from repro.apenet import BufferKind
 from repro.net import TorusShape, build_apenet_cluster

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.apenet import BufferKind
 from repro.bench.microbench import make_cluster
 from repro.units import kib, us
 

@@ -6,7 +6,6 @@ arrives exactly once, in the right place, with no deadlock.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -128,7 +127,6 @@ def test_buflist_scan_cost_visible_in_latency(n_buffers):
     sim.run()
     one_way = out["arrived"] - out["t0"]
     cfg = cluster.config
-    base_scan = cfg.rx_buflist_base + cfg.rx_buflist_per_entry
     # The scan visits n_buffers + 1 entries: the extra cost is linear.
     extra = n_buffers * cfg.rx_buflist_per_entry
     assert one_way > us(5) + extra - 100

@@ -6,7 +6,7 @@ from repro.apenet import DEFAULT_CONFIG, Router, TorusLink, TorusPort
 from repro.net.packet import ApePacket, MessageInfo
 from repro.net.topology import TorusShape
 from repro.sim import Simulator
-from repro.units import Gbps, kib, us
+from repro.units import Gbps, us
 
 
 def make_packet(dst, src=(0, 0, 0), nbytes=4096, msg_id=1, seq=0, last=True):

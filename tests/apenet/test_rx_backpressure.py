@@ -4,7 +4,7 @@ import pytest
 
 from repro.apenet import BufferKind
 from repro.bench.microbench import make_cluster, unidirectional_bandwidth
-from repro.units import MBps, kib, mib, us
+from repro.units import kib, mib, us
 
 
 def test_rx_fifo_backpressures_into_network():
@@ -17,7 +17,6 @@ def test_rx_fifo_backpressures_into_network():
     a, b = cluster.nodes
     src = a.runtime.host_alloc(mib(1))
     dst = b.runtime.host_alloc(mib(1))
-    peaks = {}
 
     def receiver():
         yield from b.endpoint.register(dst.addr, mib(1))

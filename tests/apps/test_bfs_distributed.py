@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps.bfs import BfsConfig, run_bfs, serial_bfs, CSRGraph, rmat_edges
+from repro.apps.bfs import BfsConfig, run_bfs
 
 
 @pytest.mark.parametrize("np_", [2, 4, 8])

@@ -23,7 +23,7 @@ from repro.bench import (
 def test_render_table_alignment():
     out = render_table(["a", "long-header"], [[1, 2.5], ["xy", None]])
     lines = out.splitlines()
-    assert len({len(l) for l in lines}) <= 2  # header/sep/rows align
+    assert len({len(line) for line in lines}) <= 2  # header/sep/rows align
     assert "n.a." in out
     assert "2.50" in out
 

@@ -1,11 +1,10 @@
 """Tests for the post-run cluster diagnostics."""
 
-import pytest
 
 from repro.apenet import BufferKind
 from repro.bench.diagnostics import cluster_report, render_report
 from repro.bench.microbench import make_cluster
-from repro.units import kib, us
+from repro.units import kib
 
 
 def run_traffic(sim, cluster, nbytes=kib(64), gpu=False):

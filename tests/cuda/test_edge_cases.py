@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cuda import CudaCosts, CudaRuntime, CudaStream, memcpy_sync
-from repro.cuda.memcpy import MemcpyKind, classify
+from repro.cuda.memcpy import classify
 from repro.gpu import FERMI_2050, GPUDevice
 from repro.pcie import LinkParams, plx_platform
 from repro.sim import Simulator

@@ -190,7 +190,6 @@ def test_two_streams_overlap():
     sim, plat, rt = build()
     s1 = CudaStream(sim, "s1")
     s2 = CudaStream(sim, "s2")
-    ends = {}
 
     def proc():
         e1 = s1.enqueue(lambda: sim.timeout(us(10)))

@@ -6,7 +6,6 @@ from repro.cuda import CudaRuntime, MemoryType
 from repro.gpu import FERMI_2050, FERMI_2070, GPUDevice
 from repro.pcie import LinkParams, plx_platform
 from repro.sim import Simulator
-from repro.units import us
 
 
 def build(n_gpus=1):

@@ -10,7 +10,7 @@ from repro.gpu import (
     GPUDevice,
     P2PReadRequest,
 )
-from repro.pcie import HostMemory, LinkParams, PCIeDevice, ReadBehavior, WriteBehavior, plx_platform
+from repro.pcie import LinkParams, PCIeDevice, ReadBehavior, WriteBehavior, plx_platform
 from repro.sim import Simulator
 from repro.units import MBps, mib, us
 

@@ -1,6 +1,5 @@
 """Additional coverage for GPU DMA engines and the compute engine."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import FERMI_2050, GPUDevice, KernelLaunch

@@ -1,9 +1,8 @@
 """Unit tests for the InfiniBand fabric and HCA model."""
 
-import numpy as np
 import pytest
 
-from repro.ib import IBCard, IBFabric, build_ib_cluster
+from repro.ib import IBFabric, build_ib_cluster
 from repro.sim import Simulator
 from repro.units import GBps, kib, mib, us
 

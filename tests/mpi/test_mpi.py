@@ -3,15 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi import (
-    EAGER_THRESHOLD,
-    MpiWorld,
-    MVAPICH2Protocol,
-    OpenMPIProtocol,
-    make_mpi_pair,
-    osu_bandwidth,
-    osu_latency,
-)
+from repro.mpi import OpenMPIProtocol, make_mpi_pair, osu_bandwidth, osu_latency
 from repro.units import kib, mib, us
 
 

@@ -1,11 +1,9 @@
 """Boundary and error-path tests for the MPI layer."""
 
-import numpy as np
 import pytest
 
 from repro.mpi import EAGER_THRESHOLD, MpiRequest, make_mpi_pair
-from repro.sim import Event
-from repro.units import kib, us
+from repro.units import us
 
 
 def exchange(n, tag="b"):

@@ -13,7 +13,7 @@ from repro.pcie import (
     WriteBehavior,
 )
 from repro.sim import RateLimiter, SimulationError, Simulator
-from repro.units import GBps, us
+from repro.units import GBps
 
 
 class SinkDevice(PCIeDevice):

@@ -12,7 +12,7 @@ from repro.pcie import (
     westmere_platform,
 )
 from repro.sim import Simulator
-from repro.units import kib, us
+from repro.units import kib
 
 
 def attach_gpu_nic(plat):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator
+from repro.sim import SimulationError, Simulator
 
 
 def test_timeout_advances_clock():
@@ -34,6 +34,19 @@ def test_negative_timeout_rejected():
     sim = Simulator()
     with pytest.raises(SimulationError):
         sim.timeout(-1)
+
+
+def test_negative_timeout_message_explains_the_hazard():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="schedule into the past"):
+        sim.timeout(-0.001)
+
+
+def test_negative_push_delay_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim._push(ev, -1)
 
 
 def test_event_succeed_wakes_waiter():

@@ -15,7 +15,7 @@ from repro.bench.microbench import (
     staged_unidirectional_bandwidth,
     unidirectional_bandwidth,
 )
-from repro.units import kib, mib
+from repro.units import kib
 
 
 def test_bandwidth_test_is_deterministic():

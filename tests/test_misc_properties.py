@@ -1,6 +1,5 @@
 """Cross-cutting property tests: topology, units, fragmentation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apenet import BufferKind
-from repro.models import LogPParameters, extract_logp
+from repro.models import extract_logp
 
 H, G = BufferKind.HOST, BufferKind.GPU
 
