@@ -29,6 +29,9 @@ class NiosII:
         self._cpu = Resource(sim, 1, name)
         self.busy_by_kind: dict[str, float] = defaultdict(float)
         self.tasks_by_kind: dict[str, int] = defaultdict(int)
+        # Fault-injection site (stalls / uniform slowdown); attached by the
+        # cluster builder, None leaves every task cost untouched.
+        self.faults = None
 
     def run(self, duration: float, kind: str):
         """Generator: occupy the microcontroller for *duration* ns.
@@ -38,6 +41,8 @@ class NiosII:
         """
         if duration <= 0:
             return
+        if self.faults is not None:
+            duration = self.faults.nios_inflate(self.name, kind, duration)
         yield self._cpu.acquire()
         try:
             yield self.sim.timeout(duration)

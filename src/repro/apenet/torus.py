@@ -10,13 +10,28 @@ Two virtual channels share each physical link.  Packets normally travel on
 VC0 and switch to VC1 after crossing a ring's dateline (the wrap-around
 edge), the classic deadlock-free scheme for wormhole/VCT rings — the real
 card has equivalent machinery in its link blocks.
+
+With a :class:`~repro.faults.FaultInjector` attached (see
+:func:`~repro.net.cluster.build_apenet_cluster`'s ``faults`` argument) each
+link additionally runs the error-management layer of the follow-up APEnet+
+papers: the receiver CRC-checks every frame and NAKs corrupted ones, the
+sender keeps the packet in a replay buffer and retransmits — after the NAK
+round trip for detected corruption, after an exponentially backed-off
+replay timer for silently dropped frames — until a bounded retry budget is
+exhausted, at which point a structured
+:class:`~repro.faults.LinkFailure` escalates.  Without an injector the
+send path is byte-for-byte the fault-free one: zero extra events.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
 
 from ..net.packet import ApePacket
 from ..sim import ByteFifo, Channel, Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..faults import FaultInjector
 
 __all__ = ["TorusPort", "TorusLink", "VC_COUNT"]
 
@@ -79,6 +94,9 @@ class TorusLink:
         self.dst_port = dst_port
         self.packets_sent = 0
         self.bytes_sent = 0
+        # Fault-injection site: attached by the cluster builder; None keeps
+        # the send path identical to the fault-free simulator.
+        self.faults: Optional["FaultInjector"] = None
 
     def send(self, packet: ApePacket, vc: int):
         """Generator: credit-reserve, serialize, deliver.
@@ -87,6 +105,9 @@ class TorusLink:
         The generator returns once the packet's tail has left the wire;
         delivery at the far port happens ``latency`` later, pipelined.
         """
+        if self.faults is not None:
+            yield from self._send_reliable(packet, vc)
+            return
         yield self.dst_port.reserve(vc, packet.size)
         yield self.channel.transfer(packet.size)
         self.packets_sent += 1
@@ -95,6 +116,64 @@ class TorusLink:
         arrive.callbacks.append(
             lambda _ev, p=packet, v=vc: self.dst_port.deposit(p, v)
         )
+
+    def _send_reliable(self, packet: ApePacket, vc: int):
+        """The ACK/NAK retransmission path (fault injector attached).
+
+        A clean transmission costs exactly what the fault-free path costs:
+        ACK bookkeeping rides the reverse link for free (as in the real
+        link blocks, where the replay buffer drains transparently).  Only
+        a fault stalls the sender: a CRC-detected corruption costs the NAK
+        round trip (2x propagation), a silent drop costs the replay timer
+        with exponential backoff, and either way the frame re-occupies the
+        wire.  The port-buffer credit reserved up front spans all attempts
+        — the receiver's slot is held for the packet until it lands or the
+        link gives up.
+        """
+        from ..faults import LinkFailure
+
+        inj = self.faults
+        plan = inj.plan
+        stats = inj.stats
+        yield self.dst_port.reserve(vc, packet.size)
+        t0 = self.sim.now
+        attempts = 0
+        while True:
+            yield self.channel.transfer(packet.size)
+            stats.wire_bytes += packet.size
+            fate = inj.link_packet_fate(self.name, packet.size)
+            if fate == "ok":
+                self.packets_sent += 1
+                self.bytes_sent += packet.size
+                stats.payload_bytes += packet.nbytes
+                if attempts:
+                    stats.recovery_latency.add(self.sim.now - t0)
+                arrive = self.sim.timeout(self.latency)
+                arrive.callbacks.append(
+                    lambda _ev, p=packet, v=vc: self.dst_port.deposit(p, v)
+                )
+                return
+            attempts += 1
+            stats.retransmits += 1
+            if fate == "corrupt":
+                stats.crc_errors += 1
+            else:
+                stats.packets_dropped += 1
+            if attempts > plan.max_retries:
+                stats.record_link_failure(
+                    site=self.name, attempts=attempts, time=self.sim.now, kind=fate
+                )
+                raise LinkFailure(self.name, attempts, self.sim.now - t0, kind=fate)
+            if fate == "corrupt":
+                # Receiver CRC-checks the landed frame and NAKs: one
+                # propagation for the frame, one for the NAK.
+                yield self.sim.timeout(2 * self.latency)
+            else:
+                # Nothing came back: the replay timer fires, backed off
+                # exponentially per consecutive loss.
+                yield self.sim.timeout(
+                    plan.ack_timeout * plan.backoff ** (attempts - 1)
+                )
 
     def utilization(self) -> float:
         """Wire busy fraction."""

@@ -4,6 +4,7 @@ from . import (  # noqa: F401
     ablations,
     bfs,
     extensions,
+    faults,
     fig3,
     fig45,
     fig67,

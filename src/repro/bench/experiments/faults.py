@@ -1,0 +1,161 @@
+"""Chaos experiment: BER sweep with link-level retransmission (`faults`).
+
+Not a paper artefact — the paper assumes an error-free fabric — but the
+follow-up APEnet+ work (arXiv:1311.1741, arXiv:2201.01088) is about
+exactly this: link error management, CRC/retransmission, systemic fault
+awareness.  This experiment sweeps the torus-link bit-error rate and
+reports how gracefully each transfer path degrades when the
+ACK/NAK-retransmission layer (:mod:`repro.faults`) is absorbing faults:
+
+* delivered **goodput** (MB/s at the receiver) for the H-H, G-G P2P and
+  G-G host-staged paths — degrading monotonically with BER while every
+  payload byte still arrives intact;
+* **goodput fraction** (payload bytes over raw wire bytes, retransmitted
+  frames included) and retransmit counts;
+* ping-pong **latency** under faults (the NAK round trips and replay
+  timeouts land directly on the critical path);
+* a **retry-budget exhaustion** demo: a lossy enough link escalates to a
+  structured :class:`~repro.faults.LinkFailure`, observable in
+  :class:`~repro.sim.stats.FaultStats`;
+* a combined PCIe-TLP-replay + Nios-II-stall scenario exercising the
+  other injection sites.
+
+Everything is seeded and deterministic: the same plan produces the same
+degradation numbers in serial, parallel and cached sweeps.
+"""
+
+from __future__ import annotations
+
+from ...apenet.buflist import BufferKind
+from ...faults import FaultInjector, FaultPlan, LinkFailure
+from ...units import Gbps, kib
+from ..harness import ExperimentResult, register
+from ..microbench import (
+    pingpong_latency,
+    staged_unidirectional_bandwidth,
+    unidirectional_bandwidth,
+)
+from ..tables import render_table
+
+H, G = BufferKind.HOST, BufferKind.GPU
+
+#: Master seed for the sweep (every point derives per-site streams from it).
+SWEEP_SEED = 20130827  # the paper's arXiv submission date
+
+#: The sweep runs the torus links at 7 Gbps instead of the default 28: at
+#: full rate the link has ~3x headroom over the PCIe/Nios bottleneck and
+#: retransmissions are absorbed by idle wire slack, invisible in delivered
+#: goodput.  A link-limited regime is where reliability actually costs
+#: bandwidth — the regime the degradation curves are about.  (The staged
+#: path's own bottleneck sits below the derated link, so it keeps slack and
+#: degrades later: graceful degradation made visible.)
+SWEEP_OVERRIDES = {"link_bandwidth": Gbps(7)}
+
+
+def _sweep_bers(quick: bool) -> list[float]:
+    if quick:
+        return [0.0, 1e-7, 1e-6, 1e-5]
+    return [0.0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5]
+
+
+@register("faults", "Chaos: goodput/latency degradation vs link BER", "beyond the paper")
+def run_faults(quick: bool = True) -> ExperimentResult:
+    """Sweep link BER; report degradation for P2P vs host-staged paths."""
+    msg = kib(256)
+    n_msgs = 12 if quick else 24
+    bers = _sweep_bers(quick)
+
+    rows = []
+    comparisons = []
+    fraction_at_worst = {}
+    retx_at_worst = {}
+    recovery_at_worst = {}
+    for ber in bers:
+        row = [f"{ber:.0e}" if ber else "0"]
+        for label, runner in (
+            ("H-H", lambda f: unidirectional_bandwidth(
+                H, H, msg, n_messages=n_msgs, faults=f, **SWEEP_OVERRIDES)),
+            ("G-G P2P", lambda f: unidirectional_bandwidth(
+                G, G, msg, n_messages=n_msgs, faults=f, **SWEEP_OVERRIDES)),
+            ("G-G staged", lambda f: staged_unidirectional_bandwidth(
+                msg, n_messages=n_msgs, faults=f, **SWEEP_OVERRIDES)),
+        ):
+            inj = FaultInjector(FaultPlan(seed=SWEEP_SEED, link_ber=ber))
+            bw = runner(inj).MBps
+            row.append(bw)
+            comparisons.append((f"{label} goodput @BER={ber:.0e}", bw, None, "MB/s"))
+            if ber == bers[-1]:
+                fraction_at_worst[label] = inj.stats.goodput_fraction()
+                retx_at_worst[label] = inj.stats.retransmits
+                recovery_at_worst[label] = inj.stats.recovery_latency.mean
+        for label, s_kind, d_kind in (("H-H", H, H), ("G-G P2P", G, G)):
+            inj = FaultInjector(FaultPlan(seed=SWEEP_SEED, link_ber=ber))
+            lat = pingpong_latency(
+                s_kind, d_kind, kib(4), faults=inj, **SWEEP_OVERRIDES
+            ).usec
+            row.append(lat)
+            comparisons.append((f"{label} latency @BER={ber:.0e}", lat, None, "us"))
+        rows.append(row)
+
+    for label in ("H-H", "G-G P2P", "G-G staged"):
+        comparisons.append(
+            (f"{label} goodput fraction @BER={bers[-1]:.0e}",
+             fraction_at_worst[label], None, "")
+        )
+        comparisons.append(
+            (f"{label} retransmits @BER={bers[-1]:.0e}",
+             float(retx_at_worst[label]), None, "")
+        )
+    comparisons.append(
+        ("mean recovery latency @BER={:.0e} (H-H)".format(bers[-1]),
+         recovery_at_worst["H-H"] / 1000.0, None, "us")
+    )
+
+    # ------------------------------------------------------------------
+    # Retry-budget exhaustion: a link lossy beyond its budget escalates.
+    # ------------------------------------------------------------------
+    exhaust_inj = FaultInjector(
+        FaultPlan(seed=SWEEP_SEED, link_ber=5e-4, max_retries=2)
+    )
+    failure = None
+    try:
+        unidirectional_bandwidth(H, H, kib(64), n_messages=4, faults=exhaust_inj)
+    except LinkFailure as exc:
+        failure = exc
+    assert failure is not None, "5e-4 BER with a 2-retry budget must escalate"
+    assert exhaust_inj.stats.link_failures, "escalation must be recorded in FaultStats"
+    comparisons.append(
+        ("link-failure attempts (budget 2)", float(failure.attempts), None, "")
+    )
+
+    # ------------------------------------------------------------------
+    # The other injection sites: PCIe TLP replays + Nios II stalls.
+    # ------------------------------------------------------------------
+    site_inj = FaultInjector(
+        FaultPlan(seed=SWEEP_SEED, tlp_ber=1e-7, nios_stall_rate=0.02)
+    )
+    site_bw = unidirectional_bandwidth(H, H, msg, n_messages=n_msgs, faults=site_inj).MBps
+    comparisons.append(("H-H goodput, TLP+Nios faults", site_bw, None, "MB/s"))
+    comparisons.append(("TLP replays", float(site_inj.stats.tlp_replays), None, ""))
+    comparisons.append(("Nios stalls", float(site_inj.stats.nios_stalls), None, ""))
+
+    rendered = render_table(
+        ["BER", "H-H MB/s", "G-G P2P MB/s", "G-G staged MB/s",
+         "H-H lat us", "G-G lat us"],
+        rows,
+        title="Fault sweep — goodput and latency vs link bit-error rate",
+    ) + (
+        f"\n\nAt BER={bers[-1]:.0e}: goodput fraction "
+        + ", ".join(f"{k}={v:.4f}" for k, v in fraction_at_worst.items())
+        + f"\nRetry-budget exhaustion at BER=5e-4, budget 2: LinkFailure after "
+        f"{failure.attempts} attempts on {failure.site}"
+        + f"\nTLP+Nios scenario: {site_inj.stats.tlp_replays} TLP replays, "
+        f"{site_inj.stats.nios_stalls} Nios stalls -> {site_bw:.0f} MB/s"
+    )
+    return ExperimentResult(
+        "faults",
+        "Goodput/latency degradation vs link BER",
+        rendered,
+        comparisons,
+        data={"bers": bers, "rows": rows},
+    )

@@ -85,15 +85,22 @@ def make_cluster(
     gpu_spec=None,
     use_plx: bool = False,
     cuda_costs=None,
+    faults=None,
     **overrides,
 ):
-    """Fresh simulator + cluster, with optional config overrides."""
+    """Fresh simulator + cluster, with optional config overrides.
+
+    ``faults`` — a :class:`~repro.faults.FaultPlan` or shared
+    :class:`~repro.faults.FaultInjector` (chaos benchmarks); None keeps
+    the cluster fault-free and bit-identical to the default build.
+    """
     sim = Simulator()
     cfg = (config or DEFAULT_CONFIG).with_(**overrides) if overrides else (config or DEFAULT_CONFIG)
     shape = TorusShape(nx, ny, nz)
     specs = [gpu_spec] * shape.size if gpu_spec is not None else None
     cluster = build_apenet_cluster(
-        sim, shape, cfg, gpu_specs=specs, use_plx=use_plx, cuda_costs=cuda_costs
+        sim, shape, cfg, gpu_specs=specs, use_plx=use_plx, cuda_costs=cuda_costs,
+        faults=faults,
     )
     return sim, cluster
 
@@ -192,15 +199,16 @@ def unidirectional_bandwidth(
     n_messages: Optional[int] = None,
     loopback: bool = False,
     config: Optional[ApenetConfig] = None,
+    faults=None,
     **overrides,
 ) -> BandwidthResult:
     """Two-node (or loop-back) PUT bandwidth, receiver-side steady state."""
     if loopback:
-        sim, cluster = make_cluster(1, 1, config=config, **overrides)
+        sim, cluster = make_cluster(1, 1, config=config, faults=faults, **overrides)
         src_node = dst_node = cluster.nodes[0]
         dst_rank = 0
     else:
-        sim, cluster = make_cluster(2, 1, config=config, **overrides)
+        sim, cluster = make_cluster(2, 1, config=config, faults=faults, **overrides)
         src_node, dst_node = cluster.nodes[0], cluster.nodes[1]
         dst_rank = 1
     n_messages = n_messages or default_message_count(msg_size)
@@ -304,6 +312,7 @@ def pingpong_latency(
     iterations: int = 12,
     skip: int = 2,
     config: Optional[ApenetConfig] = None,
+    faults=None,
     **overrides,
 ) -> LatencyResult:
     """Half round-trip of a PUT ping-pong between two nodes.
@@ -311,7 +320,7 @@ def pingpong_latency(
     The pong travels dst_kind -> src_kind, mirroring the OSU latency test's
     symmetric buffer placement.
     """
-    sim, cluster = make_cluster(2, 1, config=config, **overrides)
+    sim, cluster = make_cluster(2, 1, config=config, faults=faults, **overrides)
     a, b = cluster.nodes[0], cluster.nodes[1]
     buf_a = alloc_kind(a, src_kind, msg_size)
     buf_b = alloc_kind(b, dst_kind, msg_size)
@@ -411,6 +420,7 @@ def staged_unidirectional_bandwidth(
     n_messages: Optional[int] = None,
     pipeline_chunk: int = _STAGE_CHUNK,
     config: Optional[ApenetConfig] = None,
+    faults=None,
     **overrides,
 ) -> BandwidthResult:
     """G-G bandwidth through host bounce buffers (P2P=OFF).
@@ -423,7 +433,7 @@ def staged_unidirectional_bandwidth(
     which is why staging approaches the full H-H rate for multi-megabyte
     messages (Fig 7) while being badly serialized for small ones.
     """
-    sim, cluster = make_cluster(2, 1, config=config, **overrides)
+    sim, cluster = make_cluster(2, 1, config=config, faults=faults, **overrides)
     src_node, dst_node = cluster.nodes[0], cluster.nodes[1]
     n_messages = n_messages or default_message_count(msg_size)
     if msg_size <= pipeline_chunk:

@@ -1,0 +1,36 @@
+"""Deterministic fault injection + recovery for the simulated stack.
+
+The paper's measurements assume an error-free fabric; the follow-up
+APEnet+ work (arXiv:1311.1741, arXiv:2201.01088) is largely about link
+error management — CRC/retransmission and systemic fault awareness.
+This package adds that robustness layer to the reproduction:
+
+* :class:`FaultPlan` — a frozen, seeded description of what goes wrong
+  (link BER / packet drops, PCIe TLP errors, Nios II stalls) and of the
+  recovery policy (retry budget, ACK timeout, backoff);
+* :class:`FaultInjector` — the per-run oracle with deterministic
+  per-site random streams and degradation bookkeeping
+  (:class:`~repro.sim.stats.FaultStats`);
+* :class:`LinkFailure` — the structured escalation raised when a retry
+  budget is exhausted.
+
+Wire a plan into a cluster with
+``build_apenet_cluster(..., faults=FaultPlan(link_ber=1e-7))`` — or pass
+an injector to share one across clusters.  With no plan (the default)
+every code path is bit-identical to the fault-free simulator: the hooks
+are not merely "zero-rate", they are absent.
+
+``python -m repro.bench faults`` sweeps BER and reports the degradation
+curves (goodput vs raw bandwidth, retransmits, recovery latency) for the
+P2P and host-staged paths.
+"""
+
+from .injector import FaultInjector, corruption_probability
+from .plan import FaultPlan, LinkFailure
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "LinkFailure",
+    "corruption_probability",
+]

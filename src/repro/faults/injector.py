@@ -1,0 +1,124 @@
+"""Seeded fault sampling, shared by every injection site of a run.
+
+One :class:`FaultInjector` serves a whole cluster.  Each *site* (a torus
+link, a PCIe channel, a Nios II instance — identified by name) draws from
+its own :class:`random.Random` stream seeded by ``(plan.seed, site)``, so:
+
+* sampling is independent of global event interleaving — two sites never
+  share a stream, and adding a site does not shift another site's draws;
+* a given (plan, site, draw index) always yields the same fault, which is
+  what makes fault-injected sweeps bit-identical across ``--jobs`` counts
+  and across runs.
+
+The injector only *decides* faults and keeps the books
+(:class:`~repro.sim.stats.FaultStats`); the recovery behaviour lives at
+the sites themselves (retransmission in :class:`~repro.apenet.torus.TorusLink`,
+replay in :class:`~repro.pcie.fabric.PCIeFabric`, inflation in
+:class:`~repro.apenet.nios.NiosII`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Optional
+
+from ..sim.stats import FaultStats
+from .plan import FaultPlan, LinkFailure
+
+__all__ = ["FaultInjector", "corruption_probability"]
+
+
+def corruption_probability(ber: float, nbytes: int) -> float:
+    """P(at least one bit error) over *nbytes* at bit-error rate *ber*."""
+    if ber <= 0.0 or nbytes <= 0:
+        return 0.0
+    if ber >= 1.0:
+        return 1.0
+    # 1 - (1-ber)^(8n), computed stably for the tiny BERs that matter.
+    return -math.expm1(8.0 * nbytes * math.log1p(-ber))
+
+
+class FaultInjector:
+    """Per-run fault oracle with deterministic per-site streams."""
+
+    def __init__(self, plan: FaultPlan, stats: Optional[FaultStats] = None):
+        self.plan = plan
+        self.stats = stats if stats is not None else FaultStats()
+        self._streams: dict[str, random.Random] = {}
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+
+    def stream(self, site: str) -> random.Random:
+        """The site's private RNG (created on first use)."""
+        rng = self._streams.get(site)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.plan.seed}:{site}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[site] = rng
+        return rng
+
+    # ------------------------------------------------------------------
+    # Torus links
+    # ------------------------------------------------------------------
+
+    def link_packet_fate(self, site: str, wire_bytes: int) -> str:
+        """Outcome of one wire traversal: ``"ok" | "drop" | "corrupt"``.
+
+        Zero-rate fault classes never consume a draw, so enabling one
+        class does not perturb another's stream.
+        """
+        plan = self.plan
+        if plan.link_drop_rate > 0.0 and self.stream(site).random() < plan.link_drop_rate:
+            return "drop"
+        p = corruption_probability(plan.link_ber, wire_bytes)
+        if p > 0.0 and self.stream(site).random() < p:
+            return "corrupt"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # PCIe TLPs
+    # ------------------------------------------------------------------
+
+    def tlp_extra_wire(self, site: str, wire_bytes: int) -> int:
+        """Extra wire bytes from LCRC-triggered replays of one transfer.
+
+        Each corrupted transmission is replayed in full (the data-link
+        layer's retry buffer); more than ``plan.max_retries`` consecutive
+        corruptions is an uncorrectable link error and raises
+        :class:`LinkFailure`.
+        """
+        plan = self.plan
+        p = corruption_probability(plan.tlp_ber, wire_bytes)
+        if p <= 0.0:
+            return 0
+        rng = self.stream(site)
+        replays = 0
+        while rng.random() < p:
+            replays += 1
+            if replays > plan.max_retries:
+                self.stats.record_link_failure(
+                    site=site, attempts=replays, time=None, kind="tlp-replay"
+                )
+                raise LinkFailure(site, replays, 0.0, kind="tlp-replay")
+        if replays:
+            self.stats.tlp_replays += replays
+            self.stats.tlp_replay_bytes += replays * wire_bytes
+        return replays * wire_bytes
+
+    # ------------------------------------------------------------------
+    # Nios II
+    # ------------------------------------------------------------------
+
+    def nios_inflate(self, site: str, kind: str, duration: float) -> float:
+        """The (possibly inflated) service time for one firmware task."""
+        plan = self.plan
+        duration *= plan.nios_slowdown
+        if plan.nios_stall_rate > 0.0 and self.stream(site).random() < plan.nios_stall_rate:
+            self.stats.nios_stalls += 1
+            self.stats.nios_stall_time += plan.nios_stall_ns
+            duration += plan.nios_stall_ns
+        return duration

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..apenet.config import ApenetConfig
     from ..apenet.rdma import ApenetEndpoint
     from ..apenet.torus import TorusLink
+    from ..faults import FaultInjector, FaultPlan
 
 from ..cuda.runtime import CudaRuntime
 from ..gpu.device import GPUDevice
@@ -60,6 +61,9 @@ class ApenetCluster:
     config: ApenetConfig
     nodes: list[ClusterNode] = field(default_factory=list)
     links: dict[tuple[int, int, int], TorusLink] = field(default_factory=dict)
+    # The shared fault injector, when the cluster was built with one
+    # (``faults=...``); its ``.stats`` carries the degradation accounting.
+    faults: Optional[FaultInjector] = None
 
     def node(self, rank: int) -> ClusterNode:
         """The node with linear rank *rank*."""
@@ -81,6 +85,7 @@ def build_apenet_cluster(
     gpus_per_node: int = 1,
     use_plx: bool = False,
     cuda_costs=None,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> ApenetCluster:
     """Build a torus of APEnet+ nodes.
 
@@ -88,11 +93,27 @@ def build_apenet_cluster(
     (C2050 everywhere except a C2070 on the last rank).
     ``use_plx`` — put GPU and card behind a PLX switch (the "ideal
     platform" of Table I) instead of separate root-complex ports.
+    ``faults`` — a :class:`~repro.faults.FaultPlan` (or a prebuilt
+    :class:`~repro.faults.FaultInjector` to share across clusters):
+    attaches fault injection + link-level retransmission to every torus
+    link, PCIe fabric and Nios II.  None (the default) builds the
+    fault-free cluster, bit-identical to a build without this argument.
     """
     from ..apenet.card import ApenetCard
     from ..apenet.config import DEFAULT_CONFIG
     from ..apenet.rdma import ApenetEndpoint
     from ..apenet.torus import TorusLink
+
+    injector = None
+    if faults is not None:
+        from ..faults import FaultInjector, FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            injector = FaultInjector(faults)
+        elif isinstance(faults, FaultInjector):
+            injector = faults
+        else:
+            raise TypeError(f"faults must be a FaultPlan or FaultInjector, got {faults!r}")
 
     if config is None:
         config = DEFAULT_CONFIG
@@ -104,7 +125,7 @@ def build_apenet_cluster(
     if len(gpu_specs) != n:
         raise ValueError(f"need {n} GPU specs, got {len(gpu_specs)}")
 
-    cluster = ApenetCluster(sim, shape, config)
+    cluster = ApenetCluster(sim, shape, config, faults=injector)
     card_link = LinkParams(gen=config.pcie_gen, lanes=config.pcie_lanes)
     gpu_link = LinkParams(gen=2, lanes=16)
 
@@ -150,5 +171,12 @@ def build_apenet_cluster(
         )
         src.card.router.wire(dim, direction, link)
         cluster.links[(src.rank, dim, direction)] = link
+
+    if injector is not None:
+        for link in cluster.links.values():
+            link.faults = injector
+        for node in cluster.nodes:
+            node.card.nios.faults = injector
+            node.platform.fabric.faults = injector
 
     return cluster

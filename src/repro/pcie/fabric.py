@@ -130,6 +130,17 @@ class PCIeFabric:
         self.root: Optional[FabricNode] = None
         # Address index: sorted list of (base, limit, device).
         self._windows: list[tuple[int, int, PCIeDevice]] = []
+        # Fault-injection site (repro.faults): when set, every hop transfer
+        # consults it for LCRC-triggered TLP replays.  None (the default)
+        # leaves the transaction paths bit-identical to the fault-free
+        # fabric — the hook is a single predictable branch per hop.
+        self.faults = None
+
+    def _hop_wire(self, channel: Channel, wire: int) -> int:
+        """Wire bytes for one hop, inflated by any TLP replays."""
+        if self.faults is None:
+            return wire
+        return wire + self.faults.tlp_extra_wire(channel.name, wire)
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -333,7 +344,8 @@ class PCIeFabric:
                         initiator.name,
                     )
                 )
-                yield first_link.channel(first_dir).transfer(wire)
+                first_ch = first_link.channel(first_dir)
+                yield first_ch.transfer(self._hop_wire(first_ch, wire))
             ev = Event(self.sim)
             ev.callbacks.append(_count)
             # The full payload is delivered once, with the whole write's base
@@ -368,7 +380,7 @@ class PCIeFabric:
                     initiator.name,
                 )
             )
-            yield ch.transfer(wire)
+            yield ch.transfer(self._hop_wire(ch, wire))
         if behavior.limiter is not None:
             yield behavior.limiter.consume(nbytes)
         if delivery is not None and behavior.on_write is not None:
@@ -415,7 +427,7 @@ class PCIeFabric:
                     initiator.name,
                 )
             )
-            yield ch.transfer(req_wire)
+            yield ch.transfer(self._hop_wire(ch, req_wire))
         # Target first-access latency, then sustained-rate pacing.
         if behavior.latency > 0:
             yield self.sim.timeout(behavior.latency)
@@ -436,7 +448,7 @@ class PCIeFabric:
                     initiator.name,
                 )
             )
-            yield ch.transfer(cpl_wire)
+            yield ch.transfer(self._hop_wire(ch, cpl_wire))
         done.succeed(nbytes)
 
     def read_pipelined(

@@ -24,7 +24,7 @@ from .core import (
     kernel_event_count,
 )
 from .resources import ByteFifo, PacketFifo, Resource, Store
-from .stats import OnlineStats, TimeSeries, percentile
+from .stats import FaultStats, OnlineStats, TimeSeries, percentile
 from .trace import BandwidthMeter, TraceLog, TraceRecord
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "TraceLog",
     "TraceRecord",
     "OnlineStats",
+    "FaultStats",
     "TimeSeries",
     "percentile",
 ]

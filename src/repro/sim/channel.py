@@ -12,6 +12,7 @@ bounded sustained rate without the notion of individual in-flight messages
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Optional
 
 from .core import Event, SimulationError, Simulator
@@ -39,10 +40,18 @@ class Channel:
         name: str = "",
         deliver: Optional[Callable[[Any], None]] = None,
     ):
-        if bandwidth <= 0:
-            raise SimulationError("Channel bandwidth must be positive")
-        if latency < 0:
-            raise SimulationError("Channel latency must be non-negative")
+        # `not (x > 0)` (rather than `x <= 0`) also rejects NaN, which
+        # compares false against everything: a NaN bandwidth or latency
+        # computed from bad calibration constants would otherwise poison
+        # every transfer time silently.
+        if not bandwidth > 0 or not math.isfinite(bandwidth):
+            raise SimulationError(
+                f"Channel bandwidth must be positive and finite, got {bandwidth!r}"
+            )
+        if not latency >= 0 or not math.isfinite(latency):
+            raise SimulationError(
+                f"Channel latency must be non-negative and finite, got {latency!r}"
+            )
         self.sim = sim
         self.bandwidth = float(bandwidth)  # bytes/ns
         self.latency = float(latency)
@@ -105,8 +114,10 @@ class RateLimiter:
     """
 
     def __init__(self, sim: Simulator, rate: float, name: str = ""):
-        if rate <= 0:
-            raise SimulationError("RateLimiter rate must be positive")
+        if not rate > 0 or not math.isfinite(rate):
+            raise SimulationError(
+                f"RateLimiter rate must be positive and finite, got {rate!r}"
+            )
         self.sim = sim
         self.rate = float(rate)  # bytes/ns
         self.name = name

@@ -39,6 +39,8 @@ __all__ = [
     "kernel_event_count",
 ]
 
+_INF = float("inf")
+
 # Cumulative events processed by every Simulator in this interpreter.  The
 # benchmark runner samples this around an experiment to report event-count
 # telemetry without touching the per-event hot path (the counters are
@@ -154,10 +156,14 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
+        # One chained comparison rejects negative, NaN and +inf alike: any
+        # of them would silently corrupt heap ordering (NaN compares false
+        # against everything, so heappush would misplace the entry).
+        if not 0.0 <= delay < _INF:
             raise SimulationError(
-                f"negative timeout delay {delay!r}: a process must not "
-                "schedule into the past (this would corrupt heap ordering)"
+                f"timeout delay {delay!r} must be finite and non-negative: "
+                "a negative delay would schedule into the past, and a "
+                "NaN/inf delay would corrupt heap ordering"
             )
         self.sim = sim
         self.callbacks = []
@@ -333,11 +339,10 @@ class Simulator:
     # -- kernel -----------------------------------------------------------------
 
     def _push(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
+        if not 0.0 <= delay < _INF:
             raise SimulationError(
-                f"cannot schedule {event!r} with negative delay {delay!r}: "
-                "events must not be scheduled into the past (this would "
-                "corrupt heap ordering)"
+                f"cannot schedule {event!r} with a negative delay or "
+                f"non-finite delay ({delay!r}): it would corrupt heap ordering"
             )
         seq = self._seq + 1
         self._seq = seq

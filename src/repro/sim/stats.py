@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
-__all__ = ["OnlineStats", "percentile", "TimeSeries"]
+__all__ = ["OnlineStats", "percentile", "TimeSeries", "FaultStats"]
 
 
 class OnlineStats:
@@ -108,3 +108,49 @@ class TimeSeries:
     def maximum(self) -> float:
         """Largest recorded level."""
         return max(self.values) if self.values else 0.0
+
+
+class FaultStats:
+    """Graceful-degradation accounting for fault-injected runs.
+
+    Filled in by the fault-injection sites (:mod:`repro.faults`); exposes
+    the numbers a chaos experiment reports: goodput vs raw wire traffic,
+    retransmission counts, recovery latency, and every structured link
+    failure.  Lives here (not in ``repro.faults``) so instrumentation
+    consumers need only depend on the sim layer.
+    """
+
+    def __init__(self):
+        # Torus links.
+        self.payload_bytes = 0  # goodput numerator: payload delivered intact
+        self.wire_bytes = 0  # raw wire traffic, retransmissions included
+        self.retransmits = 0
+        self.crc_errors = 0
+        self.packets_dropped = 0
+        self.recovery_latency = OnlineStats()  # ns, per recovered packet
+        # PCIe.
+        self.tlp_replays = 0
+        self.tlp_replay_bytes = 0
+        # Nios II.
+        self.nios_stalls = 0
+        self.nios_stall_time = 0.0
+        # Escalations: one record per exhausted retry budget.
+        self.link_failures: list[dict] = []
+
+    def record_link_failure(self, **info) -> None:
+        """Append one structured failure record (site, attempts, time, kind)."""
+        self.link_failures.append(dict(info))
+
+    def goodput_fraction(self) -> float:
+        """Delivered payload bytes over raw wire bytes (1.0 when idle)."""
+        if self.wire_bytes == 0:
+            return 1.0
+        return self.payload_bytes / self.wire_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultStats(goodput={self.goodput_fraction():.3f}, "
+            f"retx={self.retransmits}, drops={self.packets_dropped}, "
+            f"crc={self.crc_errors}, tlp_replays={self.tlp_replays}, "
+            f"stalls={self.nios_stalls}, failures={len(self.link_failures)})"
+        )

@@ -1,0 +1,94 @@
+"""Golden-number regression tests: pin every measured EXPERIMENTS.md row.
+
+The simulator is fully deterministic, so quick-mode experiment results are
+bit-exact run to run.  These tests pin the measured value of every
+comparison row of the headline experiments with **exact float equality**:
+any drift — however small — is a behavioural change of the model and must
+be acknowledged by deliberately updating the goldens here (and the tables
+in EXPERIMENTS.md).
+
+This is also the fault-layer's zero-fault guarantee in executable form:
+the fault-injection machinery of :mod:`repro.faults` threads through the
+torus links, PCIe fabric and Nios II, and with no injector attached every
+one of these numbers must stay bit-identical to the pre-fault-layer
+simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import harness
+
+# {experiment_id: {row_name: (measured, unit)}} — captured from quick-mode
+# runs of the seed simulator.  Exact equality, no tolerances.
+GOLDEN = {
+    "table1": {
+        "Host mem read": (2392.7852332203593, "MB/s"),
+        "GPU mem read (Fermi/P2P)": (1516.6516994722804, "MB/s"),
+        "GPU mem read (Fermi/BAR1)": (149.95779673093617, "MB/s"),
+        "GPU mem read (Kepler/P2P)": (1579.4924648254137, "MB/s"),
+        "GPU mem read (Kepler/BAR1)": (1596.182546816839, "MB/s"),
+        "GPU-to-GPU loop-back": (1064.1423489572019, "MB/s"),
+        "Host-to-Host loop-back": (1241.9118210830754, "MB/s"),
+    },
+    "fig3": {
+        "initial delay to first request (us)": (2.9526315789473685, ""),
+        "GPU head latency (us)": (2.1135087719298244, ""),
+        "sustained data rate (MB/s)": (1390.29065270757, ""),
+        "request interval (us)": (2.9540350877192787, ""),
+    },
+    "fig4": {
+        "plateau v1": (674.5521933250164, "MB/s"),
+        "plateau v2 w=8K": (1044.177995558353, "MB/s"),
+        "plateau v2 w=32K": (1365.0614186867156, "MB/s"),
+        "plateau v3 w=128K": (1516.651699472311, "MB/s"),
+    },
+    # Heisenberg Spin Glass strong scaling (ps/spin).
+    "table2": {
+        "Ttot NP=1": (924.1760253881995, "ps/spin"),
+        "Ttot NP=2": (419.1184879972026, "ps/spin"),
+        "Tnet NP=2": (92.04573652200513, "ps/spin"),
+        "Ttot NP=4": (205.08189039050387, "ps/spin"),
+        "Tnet NP=4": (92.0457365220052, "ps/spin"),
+        "Ttot NP=8": (103.06709289550781, "ps/spin"),
+        "Tnet NP=8": (92.0449139779074, "ps/spin"),
+    },
+    # Graph500 BFS traversed edges per second.
+    "table4": {
+        "APEnet TEPS NP=1 (scale 16)": (65726363.97888251, "TEPS"),
+        "IB TEPS NP=1 (scale 16)": (60955615.54427928, "TEPS"),
+        "APEnet TEPS NP=2 (scale 16)": (83384445.53040871, "TEPS"),
+        "IB TEPS NP=2 (scale 16)": (77445454.62401867, "TEPS"),
+        "APEnet TEPS NP=4 (scale 16)": (101573710.90891063, "TEPS"),
+        "IB TEPS NP=4 (scale 16)": (120146045.17599662, "TEPS"),
+        "APEnet TEPS NP=8 (scale 16)": (130750258.53324024, "TEPS"),
+        "IB TEPS NP=8 (scale 16)": (178349826.4529464, "TEPS"),
+    },
+}
+
+_cache: dict[str, object] = {}
+
+
+def _run(exp_id: str):
+    """Each experiment runs once per test session, shared across rows."""
+    if exp_id not in _cache:
+        _cache[exp_id] = harness.run(exp_id, quick=True)
+    return _cache[exp_id]
+
+
+@pytest.mark.parametrize("exp_id", sorted(GOLDEN))
+def test_golden_rows_exact(exp_id):
+    result = _run(exp_id)
+    measured = {name: (value, unit) for name, value, _paper, unit in result.comparisons}
+    assert set(measured) == set(GOLDEN[exp_id]), (
+        "comparison row set changed — update GOLDEN deliberately"
+    )
+    mismatches = {
+        name: (measured[name], golden)
+        for name, golden in GOLDEN[exp_id].items()
+        if measured[name] != golden
+    }
+    assert not mismatches, (
+        f"{exp_id} drifted from golden values (measured, golden): {mismatches}"
+    )

@@ -124,6 +124,23 @@ def test_jobs_1_and_jobs_4_identical_comparisons(tmp_path):
         assert s.rendered == p.rendered
 
 
+def test_jobs_identical_with_fault_injection(tmp_path):
+    """Fault-injected runs stay bit-identical across --jobs counts.
+
+    Fault sampling uses per-site streams derived from (plan seed, site
+    name), so worker forking and scheduling must not shift a single draw:
+    the whole chaos sweep — goodput curves, retransmit counts, the
+    escalated LinkFailure — is reproduced exactly in serial and parallel.
+    """
+    ids = ["faults", "fig3"]
+    serial = run_experiments(ids, jobs=1, use_cache=False)
+    parallel = run_experiments(ids, jobs=4, use_cache=False)
+    for s, p in zip(serial, parallel):
+        assert s.status == p.status == "ok"
+        assert s.comparisons == p.comparisons  # bit-identical, not approximate
+        assert s.rendered == p.rendered
+
+
 def test_parallel_run_sees_runtime_registered_experiments(tmp_path, cheap_experiment):
     # Workers are forked, so they inherit experiments registered after import.
     records = run_experiments(

@@ -1,0 +1,74 @@
+"""Acceptance tests for the `faults` chaos experiment.
+
+Pin the ISSUE-level guarantees: goodput degrades monotonically with BER
+on every path, latency only gets worse, and a retry budget that is too
+small for the error rate escalates to an observable LinkFailure.
+"""
+
+import pytest
+
+from repro.bench import harness
+
+BW_COLS = {"H-H": 1, "G-G P2P": 2, "G-G staged": 3}
+LAT_COLS = {"H-H": 4, "G-G P2P": 5}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return harness.run("faults", quick=True)
+
+
+def _assert_degradation(result):
+    rows = result.data["rows"]
+    bers = result.data["bers"]
+    assert bers == sorted(bers) and bers[0] == 0.0
+    assert len(rows) == len(bers)
+    for label, col in BW_COLS.items():
+        goodput = [row[col] for row in rows]
+        for a, b in zip(goodput, goodput[1:]):
+            assert b <= a, f"{label} goodput increased with BER: {goodput}"
+        assert goodput[-1] < goodput[0], (
+            f"{label} shows no overall degradation across the sweep: {goodput}"
+        )
+    for label, col in LAT_COLS.items():
+        lat = [row[col] for row in rows]
+        for a, b in zip(lat, lat[1:]):
+            assert b >= a, f"{label} latency improved with BER: {lat}"
+        assert lat[-1] > lat[0]
+
+
+def test_goodput_and_latency_degrade_monotonically(result):
+    _assert_degradation(result)
+
+
+def test_retry_budget_exhaustion_is_observable(result):
+    rows = {name: value for name, value, _p, _u in result.comparisons}
+    # Budget of 2 -> the failing packet was attempted exactly 3 times.
+    assert rows["link-failure attempts (budget 2)"] == 3.0
+    assert "LinkFailure after 3 attempts" in result.rendered
+
+
+def test_goodput_fraction_and_retransmits_reported(result):
+    rows = {name: value for name, value, _p, _u in result.comparisons}
+    worst = max(result.data["bers"])
+    for label in BW_COLS:
+        frac = rows[f"{label} goodput fraction @BER={worst:.0e}"]
+        assert 0.0 < frac < 1.0
+        assert rows[f"{label} retransmits @BER={worst:.0e}"] > 0
+    assert rows["mean recovery latency @BER={:.0e} (H-H)".format(worst)] > 0
+    assert rows["TLP replays"] > 0
+    assert rows["Nios stalls"] > 0
+
+
+def test_chaos_run_is_deterministic(result):
+    again = harness.run("faults", quick=True)
+    assert again.comparisons == result.comparisons  # bit-identical
+    assert again.rendered == result.rendered
+
+
+@pytest.mark.slow
+def test_full_sweep_degrades_monotonically():
+    """The scheduled-CI chaos sweep: full BER grid, same guarantees."""
+    full = harness.run("faults", quick=False)
+    assert len(full.data["bers"]) > 4
+    _assert_degradation(full)

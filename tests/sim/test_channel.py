@@ -1,5 +1,7 @@
 """Unit tests for Channel and RateLimiter."""
 
+import math
+
 import pytest
 
 from repro.sim import Channel, RateLimiter, SimulationError, Simulator
@@ -100,6 +102,29 @@ def test_channel_invalid_parameters():
     ch = Channel(sim, bandwidth=1.0)
     with pytest.raises(SimulationError):
         ch.transfer(-1)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_channel_rejects_non_finite_bandwidth(bad):
+    """Regression: NaN slipped past the `bandwidth <= 0` check (NaN compares
+    false against everything) and produced NaN timestamps downstream."""
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Channel(sim, bandwidth=bad)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_channel_rejects_non_finite_latency(bad):
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Channel(sim, bandwidth=1.0, latency=bad)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf, 0.0, -1.0])
+def test_rate_limiter_rejects_non_positive_or_non_finite_rate(bad):
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        RateLimiter(sim, rate=bad)
 
 
 def test_channel_backlog_reporting():

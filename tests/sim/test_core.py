@@ -49,6 +49,20 @@ def test_negative_push_delay_rejected():
         sim._push(ev, -1)
 
 
+def test_non_finite_timeout_rejected():
+    """Regression: NaN compares false against every bound, so it sailed
+    through the old `delay < 0` guard and corrupted event-heap ordering."""
+    import math
+
+    sim = Simulator()
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(SimulationError):
+            sim.timeout(bad)
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            sim._push(ev, bad)
+
+
 def test_event_succeed_wakes_waiter():
     sim = Simulator()
     ev = sim.event()
