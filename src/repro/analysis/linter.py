@@ -1,0 +1,99 @@
+"""Lint engine: parse, run the DES rules, apply suppressions.
+
+Entry points:
+
+* :func:`lint_source` — lint one module's source text;
+* :func:`lint_paths` — walk files/directories and lint every ``.py`` file;
+* ``python -m repro.analysis lint src/`` — the CLI (see ``__main__``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import Finding, collect_findings
+
+__all__ = ["lint_source", "lint_paths", "iter_python_files", "suppressed_rules"]
+
+#: ``# repro: noqa`` or ``# repro: noqa-DET001,SIM001`` (case-insensitive).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:-([A-Za-z0-9_,\s]+))?", re.IGNORECASE)
+
+#: Directory names never worth linting.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """The rules a source line suppresses.
+
+    Returns ``None`` when the line has no noqa comment, an empty frozenset
+    for a blanket ``# repro: noqa`` (suppress everything), or the specific
+    rule ids of a scoped ``# repro: noqa-RULE[,RULE...]``.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    scope = m.group(1)
+    if scope is None:
+        return frozenset()
+    return frozenset(r.strip().upper() for r in scope.split(",") if r.strip())
+
+
+def _apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
+    lines = source.splitlines()
+    kept = []
+    for f in findings:
+        line = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        scope = suppressed_rules(line)
+        if scope is None:
+            kept.append(f)
+        elif scope and f.rule.upper() not in scope:
+            kept.append(f)
+        # blanket noqa (empty frozenset) or matching scope: suppressed
+    return kept
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source; returns findings with suppressions applied.
+
+    A file that fails to parse yields a single ``PARSE`` finding rather
+    than raising, so one broken file cannot hide the rest of a sweep.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 1, exc.offset or 0, "PARSE", str(exc.msg))
+        ]
+    findings = collect_findings(tree, path)
+    findings = _apply_suppressions(findings, source)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(
+                f
+                for f in sorted(p.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(part.name for part in f.parents)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return out
+
+
+def lint_paths(paths: Sequence[Path | str]) -> list[Finding]:
+    """Lint every ``.py`` file under *paths*; findings in path/line order."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings

@@ -35,7 +35,7 @@ from ...mpi.comm import MpiWorld
 from ...ib.cluster import build_ib_cluster
 from ...net.cluster import build_apenet_cluster
 from ...net.topology import TorusShape
-from ...sim import Simulator
+from ...sim import DeadlockError, Simulator
 from ...units import Gbps, us
 from .csr import CSRGraph
 from .perf import BfsKernelModel
@@ -262,7 +262,8 @@ def run_bfs(cfg: BfsConfig) -> BfsResult:
         for st, comm in zip(states, comms)
     ]
     sim.run()
-    assert all(p.processed for p in procs), "BFS ranks deadlocked"
+    if not all(p.processed for p in procs):
+        raise DeadlockError("BFS ranks deadlocked")
     n_levels = max(p.value for p in procs)
 
     # Reassemble the global result from the owned slices.

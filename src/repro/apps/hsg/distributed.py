@@ -42,7 +42,7 @@ from ...mpi.comm import MpiWorld
 from ...ib.cluster import build_ib_cluster
 from ...net.cluster import build_apenet_cluster
 from ...net.topology import TorusShape
-from ...sim import Event, Simulator
+from ...sim import DeadlockError, Event, Simulator
 from ...units import Gbps, KiB, us
 from .lattice import SpinLattice, overrelax_spins
 from .perf import SPIN_BYTES, HsgKernelModel
@@ -323,7 +323,8 @@ def _run_apenet(sim: Simulator, cfg: HsgConfig) -> HsgResult:
 
     procs = [sim.process(rank_proc(st), name=f"hsg.r{st.rank}") for st in states]
     sim.run()
-    assert all(p.processed for p in procs), "HSG ranks deadlocked"
+    if not all(p.processed for p in procs):
+        raise DeadlockError("HSG ranks deadlocked")
     return _finalize(cfg, sim, states, t_start, ref, energy_before)
 
 
@@ -485,7 +486,8 @@ def _run_mpi(sim: Simulator, cfg: HsgConfig) -> HsgResult:
 
     procs = [sim.process(rank_proc(st), name=f"hsg.r{st.rank}") for st in states]
     sim.run()
-    assert all(p.processed for p in procs), "HSG MPI ranks deadlocked"
+    if not all(p.processed for p in procs):
+        raise DeadlockError("HSG MPI ranks deadlocked")
     return _finalize(cfg, sim, states, t_start, ref, energy_before)
 
 

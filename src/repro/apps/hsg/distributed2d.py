@@ -29,7 +29,7 @@ from ...cuda.stream import CudaStream
 from ...gpu.kernels import KernelLaunch
 from ...net.cluster import build_apenet_cluster
 from ...net.topology import TorusShape
-from ...sim import Simulator
+from ...sim import DeadlockError, Simulator
 from ...units import Gbps, KiB, us
 from .distributed import HsgResult  # reuse result type
 from .lattice import SpinLattice, overrelax_spins
@@ -278,7 +278,8 @@ def run_hsg_2d(cfg: Hsg2DConfig) -> HsgResult:
 
     procs = [sim.process(rank_proc(st), name=f"hsg2d.r{st.rank}") for st in states]
     sim.run()
-    assert all(p.processed for p in procs), "2-D HSG ranks deadlocked"
+    if not all(p.processed for p in procs):
+        raise DeadlockError("2-D HSG ranks deadlocked")
 
     sites = cfg.L**3
     start = max(t_start.values())

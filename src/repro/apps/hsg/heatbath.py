@@ -87,8 +87,12 @@ def heatbath_parity(
 def heatbath_sweep(
     lattice: SpinLattice, beta: float, rng: Optional[np.random.Generator] = None
 ) -> None:
-    """One full heatbath sweep (both parities)."""
-    rng = rng or np.random.default_rng()
+    """One full heatbath sweep (both parities).
+
+    With no *rng* a **seeded** generator is built: an unseeded fallback
+    would make sweeps irreproducible run to run (DET001).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
     heatbath_parity(lattice, 0, beta, rng)
     heatbath_parity(lattice, 1, beta, rng)
 
@@ -103,8 +107,9 @@ def mixed_sweep(
 
     Over-relaxation decorrelates quickly at constant energy; the heatbath
     supplies the ergodicity — the mix the authors benchmark in [11].
+    With no *rng* a seeded generator is built (see :func:`heatbath_sweep`).
     """
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     for _ in range(overrelax_per_heatbath):
         lattice.sweep()
     heatbath_sweep(lattice, beta, rng)

@@ -29,7 +29,7 @@ from __future__ import annotations
 from ...apenet.buflist import BufferKind
 from ...faults import FaultInjector, FaultPlan, LinkFailure
 from ...units import Gbps, kib
-from ..harness import ExperimentResult, register
+from ..harness import ExperimentError, ExperimentResult, register
 from ..microbench import (
     pingpong_latency,
     staged_unidirectional_bandwidth,
@@ -122,8 +122,10 @@ def run_faults(quick: bool = True) -> ExperimentResult:
         unidirectional_bandwidth(H, H, kib(64), n_messages=4, faults=exhaust_inj)
     except LinkFailure as exc:
         failure = exc
-    assert failure is not None, "5e-4 BER with a 2-retry budget must escalate"
-    assert exhaust_inj.stats.link_failures, "escalation must be recorded in FaultStats"
+    if failure is None:
+        raise ExperimentError("5e-4 BER with a 2-retry budget must escalate")
+    if not exhaust_inj.stats.link_failures:
+        raise ExperimentError("escalation must be recorded in FaultStats")
     comparisons.append(
         ("link-failure attempts (budget 2)", float(failure.attempts), None, "")
     )

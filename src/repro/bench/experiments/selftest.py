@@ -25,7 +25,8 @@ import time
 from ...pcie.device import HostMemory
 from ...pcie.fabric import PCIeFabric
 from ...sim import Channel, Simulator
-from ..harness import ExperimentResult, register
+from ...units import GBps, ns
+from ..harness import ExperimentError, ExperimentResult, register
 from ..tables import render_table
 
 __all__ = ["kernel_workload", "time_kernel", "batching_events"]
@@ -39,7 +40,7 @@ def kernel_workload(sim: Simulator, n_procs: int, n_steps: int) -> None:
     link serialization) with a sprinkling of triggered Events (completion
     notifications) and Channel transfers.
     """
-    ch = Channel(sim, bandwidth=4.0, latency=120.0, name="selftest-link")
+    ch = Channel(sim, bandwidth=GBps(4.0), latency=ns(120.0), name="selftest-link")
     rendezvous = [sim.event() for _ in range(n_procs // 4 or 1)]
 
     def worker(i):
@@ -92,7 +93,11 @@ def batching_events(batch: int, nbytes: int = 1 << 19):
     fabric.add_endpoint(dst, root)
     done = fabric.write(src, 1 << 30, nbytes)
     sim.run()
-    assert done.processed and done.value == nbytes
+    if not done.processed or done.value != nbytes:
+        raise ExperimentError(
+            f"bulk write incomplete: processed={done.processed}, "
+            f"value={done.value!r}, expected {nbytes}"
+        )
     return sim.now, sim.events_processed
 
 

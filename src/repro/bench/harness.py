@@ -13,7 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-__all__ = ["ExperimentResult", "Experiment", "register", "get", "all_ids", "run"]
+__all__ = [
+    "ExperimentError",
+    "ExperimentResult",
+    "Experiment",
+    "register",
+    "get",
+    "all_ids",
+    "run",
+]
+
+
+class ExperimentError(RuntimeError):
+    """An experiment's internal invariant failed (explicit, -O-proof
+    replacement for the load-bearing asserts the SIM001 lint rule bans)."""
 
 
 @dataclass

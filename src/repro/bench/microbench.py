@@ -29,7 +29,7 @@ from ..cuda.memcpy import memcpy_async, memcpy_sync
 from ..cuda.stream import CudaStream
 from ..net.cluster import build_apenet_cluster
 from ..net.topology import TorusShape
-from ..sim import Simulator
+from ..sim import DeadlockError, Simulator
 from ..units import KiB, MiB, us
 
 __all__ = [
@@ -235,7 +235,8 @@ def unidirectional_bandwidth(
     rx = sim.process(receiver())
     sim.process(sender())
     sim.run()
-    assert rx.processed, "receiver did not finish"
+    if not rx.processed:
+        raise DeadlockError("unidirectional receiver never finished")
     k = max(1, len(completions) // 4)
     duration = completions[-1] - completions[k - 1]
     nbytes = (len(completions) - k) * msg_size
@@ -290,7 +291,8 @@ def bidirectional_bandwidth(
     for r in (0, 1):
         sim.process(sender(r))
     sim.run()
-    assert all(p.processed for p in procs)
+    if not all(p.processed for p in procs):
+        raise DeadlockError("bidirectional receivers never finished")
     completions.sort()
     k = max(1, len(completions) // 4)
     duration = completions[-1] - completions[k - 1]
@@ -344,7 +346,8 @@ def pingpong_latency(
     sim.process(node_b())
     pa = sim.process(node_a())
     sim.run()
-    assert pa.processed
+    if not pa.processed:
+        raise DeadlockError("ping-pong initiator never finished")
     kept = rtts[skip:]
     return LatencyResult(msg_size, sum(kept) / len(kept) / 2.0, len(kept))
 
@@ -401,7 +404,8 @@ def sender_gap(
     rx = sim.process(receiver())
     sim.process(sender())
     sim.run()
-    assert rx.processed
+    if not rx.processed:
+        raise DeadlockError("sender-gap receiver never finished")
     # "Run times of the bandwidth test": first submission to full delivery,
     # per message.
     span = sim.now - t_start["t"]
@@ -490,7 +494,8 @@ def staged_unidirectional_bandwidth(
     rx = sim.process(receiver())
     sim.process(sender())
     sim.run()
-    assert rx.processed
+    if not rx.processed:
+        raise DeadlockError("staged receiver never finished")
     k = max(1, len(completions) // 4)
     duration = completions[-1] - completions[k - 1]
     nbytes = (len(completions) - k) * msg_size
@@ -551,6 +556,7 @@ def staged_pingpong_latency(
     sim.process(node_b())
     pa = sim.process(node_a())
     sim.run()
-    assert pa.processed
+    if not pa.processed:
+        raise DeadlockError("staged ping-pong initiator never finished")
     kept = rtts[skip:]
     return LatencyResult(msg_size, sum(kept) / len(kept) / 2.0, len(kept))

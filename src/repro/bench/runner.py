@@ -68,6 +68,7 @@ class RunRecord:
     comparisons: list = field(default_factory=list)
     rendered: str = ""
     error: Optional[str] = None
+    error_class: Optional[str] = None  # exception class name for "error" records
 
     def to_dict(self) -> dict:
         """JSON-ready representation (tuples normalised to lists)."""
@@ -157,10 +158,19 @@ def _execute(experiment_id: str, quick: bool) -> dict:
     ev0 = kernel_event_count()
     try:
         result = harness.run(experiment_id, quick=quick)
-    except Exception:
+    except (KeyboardInterrupt, SystemExit):
+        # Ctrl-C / interpreter shutdown must tear the sweep down, not be
+        # folded into an error payload.
+        raise
+    except Exception as exc:  # repro: noqa-SIM001 — sweep isolation boundary:
+        # one failing experiment becomes an "error" record instead of
+        # killing the other workers; the class, args and traceback are all
+        # preserved so nothing is swallowed.
         return {
             "experiment_id": experiment_id,
             "error": traceback.format_exc(),
+            "error_class": type(exc).__name__,
+            "args": {"experiment_id": experiment_id, "quick": bool(quick)},
             "wall_s": time.perf_counter() - t0,
             "events": kernel_event_count() - ev0,
         }
@@ -197,6 +207,7 @@ def _record_from_payload(payload: dict, cached: bool) -> RunRecord:
             wall_s=payload.get("wall_s", 0.0),
             events=payload.get("events", 0),
             error=payload["error"],
+            error_class=payload.get("error_class"),
         )
     return RunRecord(
         experiment_id=payload["experiment_id"],

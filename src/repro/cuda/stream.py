@@ -108,7 +108,8 @@ class CudaStream:
                     result = None
             except GeneratorExit:  # worker GC'd at simulation teardown
                 raise
-            except BaseException as exc:  # surface op failure to the waiter
+            except BaseException as exc:  # repro: noqa-SIM001 — crash boundary:
+                # the failure is re-raised through the waiter's event.
                 self._pending -= 1
                 done.fail(exc)
                 continue

@@ -244,7 +244,11 @@ class GpuPageTable:
                     f"{self.gpu_name}: unmapped GPU vaddr 0x{vaddr:x}"
                 )
             node = node[i]
-        assert visits == self.LEVELS
+        if visits != self.LEVELS:
+            raise RuntimeError(
+                f"{self.gpu_name}: page-table walk took {visits} levels, "
+                f"expected {self.LEVELS} — corrupted radix tree"
+            )
         return node
 
     def is_mapped(self, vaddr: int) -> bool:

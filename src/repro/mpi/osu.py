@@ -12,7 +12,7 @@ from __future__ import annotations
 
 
 from ..ib.cluster import build_ib_cluster
-from ..sim import Simulator
+from ..sim import DeadlockError, Simulator
 from ..units import us
 from .comm import MpiWorld
 
@@ -68,7 +68,8 @@ def osu_latency(
     p0 = sim.process(rank0())
     sim.process(rank1())
     sim.run()
-    assert p0.processed
+    if not p0.processed:
+        raise DeadlockError("OSU latency rank 0 never finished")
     kept = rtts[skip:]
     return sum(kept) / len(kept) / 2.0
 
@@ -113,6 +114,7 @@ def osu_bandwidth(
     p0 = sim.process(rank0())
     sim.process(rank1())
     sim.run()
-    assert p0.processed
+    if not p0.processed:
+        raise DeadlockError("OSU bandwidth rank 0 never finished")
     total = msg_size * window * iterations
     return total / span["t"]

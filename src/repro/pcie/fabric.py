@@ -233,13 +233,15 @@ class PCIeFabric:
             return []
         src_chain = src.ancestors()
         dst_chain = dst.ancestors()
-        dst_set = {id(n): i for i, n in enumerate(dst_chain)}
+        # Keyed by the node itself (identity hash): same membership semantics
+        # as id()-keys but with no raw-address handling (DET001).
+        dst_index = {n: i for i, n in enumerate(dst_chain)}
         hops: list[tuple[FabricLink, str]] = []
         # Climb from src until we hit a node on dst's ancestor chain.
         meet_idx = None
         for node in src_chain:
-            if id(node) in dst_set:
-                meet_idx = dst_set[id(node)]
+            if node in dst_index:
+                meet_idx = dst_index[node]
                 break
             hops.append((node.uplink, "up"))
         if meet_idx is None:

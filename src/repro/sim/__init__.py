@@ -16,6 +16,7 @@ from .channel import Channel, RateLimiter
 from .core import (
     AllOf,
     AnyOf,
+    DeadlockError,
     Event,
     Process,
     SimulationError,
@@ -35,6 +36,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "DeadlockError",
     "kernel_event_count",
     "Resource",
     "Store",

@@ -63,6 +63,8 @@ class Channel:
         self.total_bytes = 0
         self.total_transfers = 0
         self._busy_time = 0.0
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_channel(self)
 
     def serialization_time(self, nbytes: int) -> float:
         """Pure wire time for *nbytes* at this channel's bandwidth."""
@@ -123,6 +125,8 @@ class RateLimiter:
         self.name = name
         self._free_at = 0.0
         self.total_bytes = 0
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_channel(self)
 
     def consume(self, nbytes: int, payload: Any = None) -> Event:
         """Occupy the device for ``nbytes/rate``; fires when done."""

@@ -25,6 +25,7 @@ Example
 from __future__ import annotations
 
 import heapq
+import os
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -36,6 +37,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "DeadlockError",
     "kernel_event_count",
 ]
 
@@ -55,6 +57,10 @@ def kernel_event_count() -> int:
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """A process (or set of processes) that should have finished never did."""
 
 
 # Event lifecycle states.
@@ -160,6 +166,8 @@ class Timeout(Event):
         # of them would silently corrupt heap ordering (NaN compares false
         # against everything, so heappush would misplace the entry).
         if not 0.0 <= delay < _INF:
+            if sim._sanitizer is not None:
+                sim._sanitizer.record_causality(delay, sim.now, "timeout delay")
             raise SimulationError(
                 f"timeout delay {delay!r} must be finite and non-negative: "
                 "a negative delay would schedule into the past, and a "
@@ -196,6 +204,8 @@ class Process(Event):
         self._throw = gen.throw
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_process(self)
         # Kick off at the current time.
         init = Event(sim)
         init.succeed()
@@ -216,9 +226,9 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:
-            # A crashed process fails its completion event so joiners see it;
-            # if nobody is joined, re-raise during kernel step for visibility.
+        except BaseException as exc:  # repro: noqa-SIM001 — crash boundary:
+            # the exception is re-raised through the completion event (joiners
+            # see it; with nobody joined the kernel step re-raises it).
             self.fail(exc)
             return
         if not isinstance(target, Event):
@@ -305,14 +315,33 @@ class Simulator:
 
     # Slots: `sim.now` is read on every transfer/timeout across the whole
     # model, and slot access beats instance-dict lookup.
-    __slots__ = ("now", "_heap", "_seq", "_running", "events_processed")
+    __slots__ = ("now", "_heap", "_seq", "_running", "events_processed", "_sanitizer")
 
-    def __init__(self):
+    def __init__(self, sanitize: Optional[bool] = None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
         self.events_processed = 0  # total events this simulator has run
+        # Observation-only runtime checking (repro.analysis.sanitizer).  All
+        # hooks sit on cold paths, so sanitized runs are bit-identical.
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        if sanitize:
+            from ..analysis.sanitizer import Sanitizer
+
+            self._sanitizer = Sanitizer(self)
+        else:
+            self._sanitizer = None
+
+    @property
+    def sanitizer(self):
+        """The attached :class:`~repro.analysis.sanitizer.Sanitizer`, or None."""
+        return self._sanitizer
+
+    def sanitizer_report(self):
+        """Finalize and return the sanitizer's report (None when disabled)."""
+        return self._sanitizer.finalize() if self._sanitizer is not None else None
 
     # -- factories -------------------------------------------------------------
 
@@ -340,6 +369,8 @@ class Simulator:
 
     def _push(self, event: Event, delay: float = 0.0) -> None:
         if not 0.0 <= delay < _INF:
+            if self._sanitizer is not None:
+                self._sanitizer.record_causality(delay, self.now, "schedule delay")
             raise SimulationError(
                 f"cannot schedule {event!r} with a negative delay or "
                 f"non-finite delay ({delay!r}): it would corrupt heap ordering"
@@ -366,6 +397,8 @@ class Simulator:
             raise SimulationError("step() on an empty event queue")
         t, _, event = heapq.heappop(self._heap)
         if t < self.now - 1e-9:
+            if self._sanitizer is not None:
+                self._sanitizer.record_causality(t, self.now, "event popped")
             raise SimulationError(f"time went backwards: {t} < {self.now}")
         self.now = t
         self.events_processed += 1
@@ -401,6 +434,8 @@ class Simulator:
                 t, _, event = pop(heap)
                 if t != now:
                     if t < now - 1e-9:
+                        if self._sanitizer is not None:
+                            self._sanitizer.record_causality(t, now, "event popped")
                         raise SimulationError(f"time went backwards: {t} < {now}")
                     self.now = now = t
                 n += 1
@@ -435,6 +470,12 @@ class Simulator:
                 self._drain(until, None)
                 if self.now < until:
                     self.now = until
+        except BaseException:
+            # A run the model deliberately crashes (LinkFailure escalation,
+            # process error) is not a clean end state; skip finalize checks.
+            if self._sanitizer is not None:
+                self._sanitizer.mark_aborted()
+            raise
         finally:
             self._running = False
 
@@ -445,9 +486,16 @@ class Simulator:
         concurrent processes keep running while it does).
         """
         proc = self.process(gen, name)
-        self._drain(None, proc)
+        try:
+            self._drain(None, proc)
+        except BaseException:
+            if self._sanitizer is not None:
+                self._sanitizer.mark_aborted()
+            raise
         if proc._state == _PENDING:
-            raise SimulationError(f"deadlock: process {proc.name!r} never finished")
+            raise DeadlockError(f"deadlock: process {proc.name!r} never finished")
         if not proc._ok:
+            if self._sanitizer is not None:
+                self._sanitizer.mark_aborted()
             raise proc._value
         return proc._value

@@ -48,6 +48,8 @@ class Resource:
         # Instrumentation: total busy integral for utilization reporting.
         self._busy_since: Optional[float] = None
         self._busy_time = 0.0
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_resource(self)
 
     @property
     def in_use(self) -> int:
@@ -111,6 +113,8 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_container(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -176,6 +180,8 @@ class ByteFifo:
         self.total_in = 0
         self.total_out = 0
         self._peak = 0
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_container(self)
 
     @property
     def level(self) -> int:
@@ -283,6 +289,8 @@ class PacketFifo:
         self.total_packets_in = 0
         self.total_packets_out = 0
         self._peak = 0
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_container(self)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -1,0 +1,28 @@
+"""Clean fixture: suppressed hazards and idiomatic code — zero findings.
+
+Never imported — read as text by test_lint_engine.py.
+"""
+
+import time
+
+
+def suppressed_scoped():
+    return time.time()  # repro: noqa-DET001 — wall time for display only
+
+
+def suppressed_blanket(x):
+    assert x  # repro: noqa
+
+
+def suppressed_multi(fn):
+    try:
+        return fn()
+    except Exception:  # repro: noqa-SIM001,DET001
+        return None
+
+
+def plainly_clean(xs):
+    ordered = sorted(xs)
+    if not ordered:
+        raise ValueError("xs must be non-empty")
+    return ordered[0]

@@ -1,0 +1,64 @@
+"""DET001 fixture: each line tagged ``# expect: RULE`` must be flagged.
+
+Never imported — read as text by test_lint_engine.py.  The tagged calls
+are exactly the nondeterminism hazards the rule catalogue documents.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock():
+    return time.time()  # expect: DET001
+
+
+def wall_clock_ns():
+    return time.time_ns()  # expect: DET001
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # expect: DET001
+
+
+def hidden_global_stream():
+    return np.random.random(4)  # expect: DET001
+
+
+def module_level_stream():
+    return random.random()  # expect: DET001
+
+
+def id_ordering(items):
+    return sorted(items, key=id)  # expect: DET001
+
+
+def id_lambda_ordering(items):
+    return sorted(items, key=lambda x: id(x))  # expect: DET001
+
+
+def id_keyed_comprehension(items):
+    return {id(x): x for x in items}  # expect: DET001
+
+
+def id_keyed_literal(a, b):
+    return {id(a): 1, id(b): 2}  # expect: DET001, DET001
+
+
+def set_for_loop():
+    out = []
+    for x in {3, 1, 2}:  # expect: DET001
+        out.append(x)
+    return out
+
+
+def set_comprehension_source(xs):
+    return [x + 1 for x in set(xs)]  # expect: DET001
+
+
+def all_fine(xs):
+    rng = np.random.default_rng(42)
+    r = random.Random(7)
+    ordered = sorted(xs, key=lambda x: x.name)
+    return rng, r, ordered, [x for x in sorted(set(xs))]

@@ -1,0 +1,50 @@
+"""SIM001 fixture: stripped asserts and swallowing excepts.
+
+Never imported — read as text by test_lint_engine.py.
+"""
+
+
+def load_bearing(x):
+    assert x > 0, "vanishes under python -O"  # expect: SIM001
+    return x
+
+
+def swallows_linkfailure(fn):
+    try:
+        return fn()
+    except Exception:  # expect: SIM001
+        return None
+
+
+def bare_swallow(fn):
+    try:
+        return fn()
+    except:  # expect: SIM001
+        return None
+
+
+def base_swallow(fn):
+    try:
+        return fn()
+    except BaseException:  # expect: SIM001
+        return None
+
+
+def reraise_is_fine(fn):
+    try:
+        return fn()
+    except Exception:
+        raise
+
+
+def typed_is_fine(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None
+
+
+def typed_raise_is_fine(x):
+    if x <= 0:
+        raise ValueError("explicit raise survives -O")
+    return x

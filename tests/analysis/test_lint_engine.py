@@ -1,0 +1,146 @@
+"""Tests for the DES AST lint engine (repro.analysis).
+
+The fixture files under ``fixtures/`` tag every expected diagnostic with a
+trailing ``# expect: RULE[, RULE...]`` comment; the tests assert that the
+linter reports exactly those (rule, line) pairs — no misses, no extras.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.__main__ import main
+from repro.analysis.linter import iter_python_files, suppressed_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).parents[2] / "src"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)")
+
+
+def expected_findings(path: Path) -> list[tuple[int, str]]:
+    """(line, rule) pairs declared by ``# expect:`` tags, sorted."""
+    out = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        m = _EXPECT_RE.search(line)
+        if m:
+            for rule in m.group(1).split(","):
+                out.append((lineno, rule.strip()))
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Fixture files: exact rule ids and line numbers
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["det001.py", "unit001.py", "sim001.py"])
+def test_fixture_reports_exactly_the_tagged_lines(name):
+    path = FIXTURES / name
+    expected = expected_findings(path)
+    assert expected, f"fixture {name} declares no expectations"
+    findings = lint_source(path.read_text(), str(path))
+    assert sorted((f.line, f.rule) for f in findings) == expected
+
+
+def test_fixture_rules_match_their_families():
+    for name, rule in [("det001.py", "DET001"), ("unit001.py", "UNIT001"),
+                       ("sim001.py", "SIM001")]:
+        findings = lint_source((FIXTURES / name).read_text(), name)
+        assert findings and all(f.rule == rule for f in findings)
+
+
+def test_clean_fixture_has_zero_findings():
+    path = FIXTURES / "clean.py"
+    assert lint_source(path.read_text(), str(path)) == []
+
+
+def test_finding_render_format():
+    findings = lint_source("import time\nnow = time.time()\n", "mod.py")
+    assert len(findings) == 1
+    f = findings[0]
+    assert (f.rule, f.line) == ("DET001", 2)
+    assert f.render().startswith("mod.py:2:")
+    assert "DET001" in f.render() and "[error]" in f.render()
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "PARSE"
+    assert findings[0].path == "bad.py"
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+def test_noqa_scope_parsing():
+    assert suppressed_rules("x = 1") is None
+    assert suppressed_rules("x = 1  # repro: noqa") == frozenset()
+    assert suppressed_rules("x = 1  # repro: noqa-DET001") == {"DET001"}
+    assert suppressed_rules("x  # repro: noqa-DET001,SIM001") == {"DET001", "SIM001"}
+    assert suppressed_rules("x  # REPRO: NOQA-det001") == {"DET001"}
+
+
+def test_blanket_noqa_suppresses_everything():
+    src = "import time\nnow = time.time()  # repro: noqa\n"
+    assert lint_source(src, "m.py") == []
+
+
+def test_scoped_noqa_suppresses_only_named_rule():
+    src = "import time\nnow = time.time()  # repro: noqa-DET001\n"
+    assert lint_source(src, "m.py") == []
+    # A noqa scoped to a *different* rule must not suppress DET001.
+    src = "import time\nnow = time.time()  # repro: noqa-SIM001\n"
+    findings = lint_source(src, "m.py")
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+# ---------------------------------------------------------------------------
+# Whole-tree guarantees
+# ---------------------------------------------------------------------------
+
+
+def test_repo_src_tree_is_clean():
+    """The CI gate: the shipped source tree must lint clean."""
+    assert lint_paths([REPO_SRC]) == []
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text("import time\ntime.time()\n")
+    files = iter_python_files([tmp_path])
+    assert [f.name for f in files] == ["ok.py"]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_one_on_findings(capsys):
+    rc = main(["lint", str(FIXTURES / "det001.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "DET001" in out and "det001.py" in out
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    rc = main(["lint", str(REPO_SRC)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_explain_lists_every_rule(capsys):
+    rc = main(["lint", "--explain"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule in RULES:
+        assert rule in out
