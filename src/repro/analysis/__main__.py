@@ -10,6 +10,10 @@
     zero sanitizer violations and (b) the sanitized comparison rows are
     **bit-identical** to the baseline, extending the golden-number
     identity proof to sanitized mode.  Exit 1 on any violation or drift.
+
+``python -m repro.analysis docstrings PATH...``
+    Documentation contract: every module must open with a one-paragraph
+    docstring (no stubs, no missing docstrings).  Exit 1 on findings.
 """
 
 from __future__ import annotations
@@ -70,6 +74,17 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_docstrings(args: argparse.Namespace) -> int:
+    from .docstrings import check_paths
+
+    findings = check_paths(args.paths)
+    for f in findings:
+        print(f.render())
+    n = len(findings)
+    print(f"repro.analysis docstrings: {n} finding(s) in {len(args.paths)} path(s)")
+    return 1 if n else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -93,6 +108,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--full", action="store_true", help="full (paper-parameter) mode instead of quick"
     )
     p_san.set_defaults(func=_cmd_sanitize)
+
+    p_doc = sub.add_parser(
+        "docstrings", help="module-docstring completeness check"
+    )
+    p_doc.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories"
+    )
+    p_doc.set_defaults(func=_cmd_docstrings)
 
     args = parser.parse_args(argv)
     if not getattr(args, "experiments", True):

@@ -1,0 +1,79 @@
+"""Module-docstring completeness check for the repro source tree.
+
+The repository's documentation contract (DESIGN.md, ISSUE 4's satellite)
+requires every public module under ``src/repro/`` to open with a
+one-paragraph docstring that situates the module — ideally naming the paper
+section or mechanism it reproduces.  This checker enforces the measurable
+half of that contract: a module docstring must exist and must be a real
+paragraph (at least :data:`MIN_WORDS` words), not a single-line stub.
+
+Kept separate from the AST rule engine in :mod:`repro.analysis.rules`
+because the existing fixture tests pin the rule catalogue's exact findings;
+``python -m repro.analysis docstrings src/repro`` runs this check and CI
+gates on a clean result.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence, Union
+
+from .linter import iter_python_files
+
+__all__ = ["MIN_WORDS", "DocstringFinding", "check_file", "check_paths"]
+
+#: A docstring shorter than this many words is a stub, not a paragraph.
+MIN_WORDS = 8
+
+
+class DocstringFinding:
+    """One module that fails the docstring contract."""
+
+    __slots__ = ("path", "problem")
+
+    def __init__(self, path: Path, problem: str):
+        self.path = path
+        self.problem = problem
+
+    def render(self) -> str:
+        """One ``path: problem`` line for console output."""
+        return f"{self.path}: {self.problem}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DocstringFinding({str(self.path)!r}, {self.problem!r})"
+
+
+def check_source(source: str, path: Path) -> list[DocstringFinding]:
+    """Check one module's source text; returns findings (empty = ok)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [DocstringFinding(path, f"unparseable: {exc.msg}")]
+    doc = ast.get_docstring(tree)
+    if doc is None:
+        return [DocstringFinding(path, "missing module docstring")]
+    words = doc.split()
+    if len(words) < MIN_WORDS:
+        return [
+            DocstringFinding(
+                path,
+                f"module docstring is a {len(words)}-word stub "
+                f"(need >= {MIN_WORDS} words — one real paragraph)",
+            )
+        ]
+    return []
+
+
+def check_file(path: Union[str, Path]) -> list[DocstringFinding]:
+    """Check one file on disk."""
+    p = Path(path)
+    return check_source(p.read_text(encoding="utf-8"), p)
+
+
+def check_paths(paths: Sequence[Union[str, Path]]) -> list[DocstringFinding]:
+    """Check every ``.py`` file under *paths* (files or directories)."""
+    findings: list[DocstringFinding] = []
+    for p in iter_python_files(paths):
+        findings.extend(check_file(p))
+    return findings

@@ -81,6 +81,15 @@ class GpuTxEngine:
                 yield from self._run_job_bar1(job, gpu)
                 self.messages_sent += 1
                 continue
+            obs = self.sim._obs
+            span = None
+            if obs is not None:
+                span = obs.span(
+                    "apenet",
+                    "gpu_tx",
+                    nbytes=job.message.total_bytes,
+                    version=int(cfg.gpu_tx_version),
+                )
             # Per-message engine startup: descriptor fetch, V2P setup — the
             # "overhead which is a substantial part of those 3 µs in the
             # initial delay" of Fig 3.
@@ -144,6 +153,8 @@ class GpuTxEngine:
             # latency but serializing successive GPU-source messages).
             if cfg.gpu_tx_msg_drain > 0:
                 yield self.sim.timeout(cfg.gpu_tx_msg_drain)
+            if span is not None:
+                span.end()
             self.messages_sent += 1
 
     # ------------------------------------------------------------------
@@ -191,6 +202,7 @@ class GpuTxEngine:
             limiter=None,
             data_of=data_of,
             on_bytes_sent=_count,
+            obs_name="bar1_tx",
         )
 
     @staticmethod

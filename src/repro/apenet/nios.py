@@ -43,6 +43,13 @@ class NiosII:
             return
         if self.faults is not None:
             duration = self.faults.nios_inflate(self.name, kind, duration)
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            # The span covers queueing *and* service, so Fig 5's story —
+            # the shared firmware CPU as the bottleneck — shows up as long
+            # spans whose service tail is only `duration` ns.
+            span = obs.span("apenet", "nios:" + kind, cost=duration)
         yield self._cpu.acquire()
         try:
             yield self.sim.timeout(duration)
@@ -50,6 +57,8 @@ class NiosII:
             self.tasks_by_kind[kind] += 1
         finally:
             self._cpu.release()
+            if span is not None:
+                span.end()
 
     @property
     def queue_len(self) -> int:

@@ -179,6 +179,15 @@ class ApenetEndpoint:
             data=data,
             gpu_index=gpu_index,
         )
+        obs = self.sim._obs
+        if obs is not None:
+            # Message-level span: post → local completion (TX pipeline
+            # drained); the remote-completion tail shows up in the target's
+            # rx/rx_write spans.
+            span = obs.span(
+                "apenet", "put", dst=dst_rank, nbytes=nbytes, kind=src_kind.name
+            )
+            job.local_done.callbacks.append(span.end_event)
         yield from self.driver.submit(job)
         self.puts_posted += 1
         return job.local_done

@@ -64,6 +64,10 @@ class RxEngine:
         cfg = self.card.config
         while True:
             pkt: ApePacket = yield self.fifo.get()
+            obs = self.sim._obs
+            span = None
+            if obs is not None:
+                span = obs.span("apenet", "rx", nbytes=pkt.nbytes)
             entry, visited = self.card.buflist.lookup(pkt.dst_addr, pkt.nbytes)
             if cfg.rx_hw_accel:
                 # Future-work hardware blocks: constant-time CAM lookup and
@@ -83,18 +87,28 @@ class RxEngine:
             if entry is not None and entry.kind is BufferKind.GPU:
                 cost += cfg.rx_gpu_window_switch
             yield from self.card.nios.run(cost, "rx")
+            if span is not None:
+                span.end()
             if entry is None:
                 # Buffer validation failed: the firmware drops the packet.
                 self.packets_dropped += 1
+                if obs is not None:
+                    obs.instant("apenet", "rx_drop", nbytes=pkt.nbytes)
                 continue
             self.packets_processed += 1
             # Hand off to the write DMA; the Nios II moves on.
             self.sim.process(self._writer(pkt), name=f"{self.card.name}.rx.wr")
 
     def _writer(self, pkt: ApePacket):
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            span = obs.span("apenet", "rx_write", nbytes=pkt.nbytes)
         yield self.card.fabric.write(
             self.card, pkt.dst_addr, pkt.nbytes, payload=pkt.data
         )
+        if span is not None:
+            span.end()
         self.bytes_received += pkt.nbytes
         msg = pkt.message
         got = self._msg_bytes.get(msg.msg_id, 0) + pkt.nbytes

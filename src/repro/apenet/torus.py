@@ -105,11 +105,21 @@ class TorusLink:
         The generator returns once the packet's tail has left the wire;
         delivery at the far port happens ``latency`` later, pipelined.
         """
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            # Covers credit wait + serialization (the VCT hop of §III.A);
+            # propagation is pipelined and excluded, like the model itself.
+            span = obs.span("apenet", "link:" + self.name, nbytes=packet.size, vc=vc)
         if self.faults is not None:
             yield from self._send_reliable(packet, vc)
+            if span is not None:
+                span.end()
             return
         yield self.dst_port.reserve(vc, packet.size)
         yield self.channel.transfer(packet.size)
+        if span is not None:
+            span.end()
         self.packets_sent += 1
         self.bytes_sent += packet.size
         arrive = self.sim.timeout(self.latency)

@@ -38,14 +38,21 @@ def windowed_read_tx(
     limiter: Optional[RateLimiter] = None,
     data_of: Optional[Callable[[int, int], Optional[np.ndarray]]] = None,
     on_bytes_sent: Optional[Callable[[int], None]] = None,
+    obs_name: str = "host_tx",
 ):
     """Generator: transmit *job* with pipelined reads + packetization.
 
     ``src_addr_of(offset)`` maps a message offset to the fabric address to
     read; ``data_of(offset, nbytes)`` supplies real payload bytes (or
     None).  Returns when the job's last packet has been injected.
+    *obs_name* labels the per-job trace span ("host_tx" for the kernel
+    driver path, "bar1_tx" for the BAR1 variant).
     """
     cfg = card.config
+    obs = sim._obs
+    span = None
+    if obs is not None:
+        span = obs.span("apenet", obs_name, nbytes=job.message.total_bytes)
     staging = ByteFifo(sim, cfg.tx_fifo_bytes, f"{card.name}.tx.stage")
     state = {"reserved": 0}
     space_waiters: list[Event] = []
@@ -106,6 +113,8 @@ def windowed_read_tx(
         in_flight.append(ev)
         off += csize
     yield packetizer_done
+    if span is not None:
+        span.end()
 
 
 class HostTxEngine:

@@ -1,4 +1,10 @@
-"""Compressed-sparse-row graph storage (the GPU-friendly layout)."""
+"""Compressed-sparse-row graph storage (the GPU-friendly layout).
+
+Supporting data structure for the §VI BFS application study: adjacency
+stored as offset/edge arrays so frontier expansion is a contiguous,
+coalesced scan — the layout real GPU graph500 kernels use, which keeps
+the simulated per-level work model faithful.
+"""
 
 from __future__ import annotations
 

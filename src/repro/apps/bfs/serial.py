@@ -1,4 +1,10 @@
-"""Reference level-synchronous BFS + graph500-style validation."""
+"""Reference level-synchronous BFS + graph500-style validation.
+
+Ground truth for the §VI application study: a single-process BFS over
+the same CSR graph, plus graph500-style parent-tree validation, used to
+check that the distributed simulation visits exactly the same vertices
+regardless of partitioning or transmit-path version.
+"""
 
 from __future__ import annotations
 

@@ -9,6 +9,8 @@ Options:
 * ``--jobs N`` — fan out over N worker processes (default 1);
 * ``--no-cache`` — ignore and do not update the on-disk result cache;
 * ``--json PATH`` — also write the JSON results artifact to PATH;
+* ``--trace PATH`` — record every experiment under :mod:`repro.obs` and
+  write one merged Chrome ``trace_event`` file (implies ``--no-cache``);
 * ``--full`` / ``--quick`` — paper's exact parameters vs trimmed sweeps.
 """
 
@@ -57,6 +59,11 @@ def main(argv=None) -> int:
         "--json", default=None, metavar="PATH",
         help="write the JSON results artifact to PATH",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of the sweep to PATH "
+        "(open in Perfetto; implies --no-cache)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -93,6 +100,7 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=progress,
+        trace=args.trace is not None,
     )
 
     summary = []
@@ -122,6 +130,17 @@ def main(argv=None) -> int:
     if args.json:
         path = write_json(records, args.json, quick=quick, jobs=args.jobs)
         print(f"\nwrote {path}", file=sys.stderr)
+
+    if args.trace:
+        from ..obs import write_chrome_trace
+
+        traces = {r.experiment_id: r.trace for r in records if r.trace is not None}
+        path = write_chrome_trace(args.trace, traces)
+        n_records = sum(len(p["events"]) for p in traces.values())
+        print(
+            f"wrote {path} ({len(traces)} experiment(s), {n_records} trace records)",
+            file=sys.stderr,
+        )
 
     return 1 if failed else 0
 

@@ -10,7 +10,11 @@ other experiment runs on.  It times one identical workload twice:
   seed kernel's per-event machinery).
 
 It also quantifies the optional back-to-back TLP batching of
-:meth:`PCIeFabric.write` as a simulated-event reduction factor.
+:meth:`PCIeFabric.write` as a simulated-event reduction factor, and
+smoke-tests the :mod:`repro.obs` observability layer: a tiny G-G RDMA PUT
+plus an MPI exchange run once untraced and once under a local
+:class:`~repro.obs.TraceSession`, proving in-sweep that traced runs are
+bit-identical and that spans arrive from every stack layer.
 
 Wall-clock numbers (and the speedup) appear only in the rendered output —
 ``comparisons`` carries exclusively deterministic quantities (event
@@ -25,11 +29,11 @@ import time
 from ...pcie.device import HostMemory
 from ...pcie.fabric import PCIeFabric
 from ...sim import Channel, Simulator
-from ...units import GBps, ns
+from ...units import GBps, kib, ns, us
 from ..harness import ExperimentError, ExperimentResult, register
 from ..tables import render_table
 
-__all__ = ["kernel_workload", "time_kernel", "batching_events"]
+__all__ = ["kernel_workload", "time_kernel", "batching_events", "observability_smoke"]
 
 
 def kernel_workload(sim: Simulator, n_procs: int, n_steps: int) -> None:
@@ -101,6 +105,94 @@ def batching_events(batch: int, nbytes: int = 1 << 19):
     return sim.now, sim.events_processed
 
 
+def _obs_smoke_workload():
+    """One tiny pass through every stack layer; returns its fingerprint.
+
+    A 16 KiB G-G RDMA PUT over a 2-node torus (exercises cuda/gpu/pcie/
+    apenet/sim) followed by a 4 KiB host MPI exchange over InfiniBand
+    (exercises mpi).  The returned tuple of (final time, event count) pairs
+    is the workload's exact behavioural fingerprint: any divergence between
+    a traced and an untraced run shows up as an inequality.
+    """
+    from ...apenet import BufferKind
+    from ...cuda.memcpy import memcpy_sync
+    from ...ib.cluster import build_ib_cluster
+    from ...mpi.comm import MpiWorld
+    from ..microbench import make_cluster
+
+    nbytes = kib(16)
+
+    # -- G-G P2P put over the torus ------------------------------------
+    sim, cluster = make_cluster(2, 1, 1)
+    a, b = cluster.nodes
+    src, dst = a.gpu.alloc(nbytes), b.gpu.alloc(nbytes)
+    host_src = a.runtime.host_alloc(nbytes)
+
+    def sender():
+        # Stage real bytes into the GPU first so the DMA engines and the
+        # CUDA memcpy cost model appear in the trace too.
+        yield from memcpy_sync(a.runtime, src.addr, host_src.addr, nbytes)
+        yield from a.endpoint.register(src.addr, nbytes)
+        done = yield from a.endpoint.put(
+            1, src.addr, dst.addr, nbytes, src_kind=BufferKind.GPU
+        )
+        yield done
+
+    def receiver():
+        yield from b.endpoint.register(dst.addr, nbytes)
+        yield from b.endpoint.wait_event()
+
+    sim.process(receiver(), name="smoke.rx")
+    sim.process(sender(), name="smoke.tx")
+    sim.run()
+    p2p_fp = (sim.now, sim.events_processed)
+
+    # -- host MPI exchange over IB -------------------------------------
+    ib_nbytes = kib(4)
+    sim2 = Simulator()
+    ib = build_ib_cluster(sim2, 2)
+    world = MpiWorld(ib)
+    ep0, ep1 = world.endpoint(0), world.endpoint(1)
+    buf0 = ib.nodes[0].runtime.host_alloc(ib_nbytes)
+    buf1 = ib.nodes[1].runtime.host_alloc(ib_nbytes)
+
+    def mpi_sender():
+        yield sim2.timeout(us(1.0))
+        yield from ep0.send(1, buf0.addr, ib_nbytes)
+
+    def mpi_receiver():
+        yield from ep1.recv(0, buf1.addr, ib_nbytes)
+
+    sim2.process(mpi_receiver(), name="smoke.mpi.rx")
+    sim2.process(mpi_sender(), name="smoke.mpi.tx")
+    sim2.run()
+    return p2p_fp, (sim2.now, sim2.events_processed)
+
+
+def observability_smoke():
+    """Run the smoke workload untraced and traced; report the evidence.
+
+    Returns a dict with the traced/untraced fingerprints, the identity
+    verdict, the distinct components that produced spans, and the span
+    count.  Runs under a *local* session so the result is the same whether
+    or not an outer ``--trace`` session is active (nested sessions fan
+    out; see :mod:`repro.obs.session`).
+    """
+    from ...obs import TraceSession
+
+    baseline = _obs_smoke_workload()
+    session = TraceSession(label="selftest-smoke")
+    with session.activate():
+        traced = _obs_smoke_workload()
+    return {
+        "baseline": baseline,
+        "traced": traced,
+        "identical": baseline == traced,
+        "components": session.components(),
+        "spans": session.span_count(),
+    }
+
+
 @register("selftest", "DES kernel self-benchmark (fast path vs generic path)", "—")
 def run_selftest(quick: bool) -> ExperimentResult:
     """Time the DES kernel's inlined run loop against the generic
@@ -118,6 +210,10 @@ def run_selftest(quick: bool) -> ExperimentResult:
     reduction = ev_plain / ev_batched
     time_shift = 100.0 * (t_batched - t_plain) / t_plain
 
+    smoke = observability_smoke()
+    expected_components = {"apenet", "cuda", "gpu", "mpi", "pcie", "sim"}
+    smoke_cover = len(expected_components & set(smoke["components"]))
+
     rows = [
         ["fast path (run loop)", f"{fast_s * 1e3:.1f} ms", f"{fast_events}"],
         ["generic path (step loop)", f"{generic_s * 1e3:.1f} ms", f"{generic_events}"],
@@ -126,6 +222,16 @@ def run_selftest(quick: bool) -> ExperimentResult:
         ["write batch=1", f"t={t_plain:.0f} ns", f"{ev_plain}"],
         ["write batch=8", f"t={t_batched:.0f} ns", f"{ev_batched}"],
         ["batching event reduction", f"{reduction:.2f}x", "—"],
+        [
+            "obs smoke: traced == untraced",
+            "yes" if smoke["identical"] else "NO",
+            f"{smoke['traced'][0][1] + smoke['traced'][1][1]}",
+        ],
+        [
+            "obs smoke: traced components",
+            ",".join(smoke["components"]),
+            f"{smoke['spans']} spans",
+        ],
     ]
     rendered = render_table(
         ["measurement", "value", "events"],
@@ -144,6 +250,18 @@ def run_selftest(quick: bool) -> ExperimentResult:
         ),
         ("TLP batching event reduction (batch=8)", reduction, None, "x"),
         ("TLP batching completion-time shift", time_shift, None, "%"),
+        (
+            "obs traced == untraced identity",
+            1.0 if smoke["identical"] else 0.0,
+            1.0,
+            "bool",
+        ),
+        (
+            "obs distinct traced components",
+            float(smoke_cover),
+            float(len(expected_components)),
+            "components",
+        ),
     ]
     return ExperimentResult(
         experiment_id="selftest",
@@ -156,5 +274,6 @@ def run_selftest(quick: bool) -> ExperimentResult:
             "speedup": speedup,
             "events_per_s": events_per_s,
             "batch_events": {"1": ev_plain, "8": ev_batched},
+            "obs_smoke": smoke,
         },
     )

@@ -28,7 +28,7 @@ import os
 import tempfile
 import time
 import traceback
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
@@ -69,10 +69,16 @@ class RunRecord:
     rendered: str = ""
     error: Optional[str] = None
     error_class: Optional[str] = None  # exception class name for "error" records
+    trace: Optional[dict] = None  # obs session payload when traced
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (tuples normalised to lists)."""
-        d = asdict(self)
+        """JSON-ready representation (tuples normalised to lists).
+
+        The trace payload is excluded — it can be millions of records and
+        has its own export path (``repro.obs.write_chrome_trace``).
+        """
+        d = asdict(replace(self, trace=None))
+        d.pop("trace", None)
         d["comparisons"] = [list(row) for row in self.comparisons]
         return d
 
@@ -152,8 +158,23 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
-def _execute(experiment_id: str, quick: bool) -> dict:
-    """Run one experiment in this process; always returns a payload dict."""
+def _execute(experiment_id: str, quick: bool, trace: bool = False) -> dict:
+    """Run one experiment in this process; always returns a payload dict.
+
+    With ``trace=True`` the experiment runs under a fresh
+    :class:`~repro.obs.TraceSession` and the payload gains a ``"trace"``
+    key (the session payload).  Tracing is observation-only, so the
+    comparison rows are identical either way; each experiment gets its own
+    session, so trace content is independent of worker scheduling.
+    """
+    session = None
+    session_cm = None
+    if trace:
+        from ..obs import TraceSession
+
+        session = TraceSession(label=experiment_id)
+        session_cm = session.activate()
+        session_cm.__enter__()
     t0 = time.perf_counter()
     ev0 = kernel_event_count()
     try:
@@ -174,7 +195,10 @@ def _execute(experiment_id: str, quick: bool) -> dict:
             "wall_s": time.perf_counter() - t0,
             "events": kernel_event_count() - ev0,
         }
-    return {
+    finally:
+        if session_cm is not None:
+            session_cm.__exit__(None, None, None)
+    payload = {
         "experiment_id": experiment_id,
         "title": result.title,
         "rendered": result.rendered,
@@ -182,12 +206,15 @@ def _execute(experiment_id: str, quick: bool) -> dict:
         "wall_s": time.perf_counter() - t0,
         "events": kernel_event_count() - ev0,
     }
+    if session is not None:
+        payload["trace"] = session.payload()
+    return payload
 
 
 def _worker(args: tuple) -> dict:
     """Pool entry point (module-level for picklability)."""
-    experiment_id, quick = args
-    return _execute(experiment_id, quick)
+    experiment_id, quick, trace = args
+    return _execute(experiment_id, quick, trace)
 
 
 def _pool_context():
@@ -218,6 +245,7 @@ def _record_from_payload(payload: dict, cached: bool) -> RunRecord:
         cached=cached,
         comparisons=[tuple(row) for row in payload["comparisons"]],
         rendered=payload["rendered"],
+        trace=payload.get("trace"),
     )
 
 
@@ -228,6 +256,7 @@ def run_experiments(
     use_cache: bool = True,
     cache_dir: Optional[Path | str] = None,
     progress: Optional[Callable[[RunRecord], None]] = None,
+    trace: bool = False,
 ) -> list[RunRecord]:
     """Run *ids*, fanning out over *jobs* worker processes.
 
@@ -236,9 +265,17 @@ def run_experiments(
     ``multiprocessing.Pool`` otherwise.  Results come back in the order of
     *ids* regardless of *jobs*.  *progress*, if given, is called with each
     :class:`RunRecord` as it lands.
+
+    With ``trace=True`` every experiment executes under its own
+    :class:`~repro.obs.TraceSession` and each ok record carries the session
+    payload in ``record.trace``.  Tracing disables the cache for the sweep
+    (cached payloads carry no trace, and trace payloads are too large to
+    store), but the comparison rows are bit-identical either way.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if trace:
+        use_cache = False
     for exp_id in ids:
         harness.get(exp_id)  # fail fast on unknown ids
     cache = ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
@@ -255,9 +292,9 @@ def run_experiments(
             pending.append(exp_id)
 
     if pending:
-        work = [(exp_id, quick) for exp_id in pending]
+        work = [(exp_id, quick, trace) for exp_id in pending]
         if jobs == 1 or len(pending) == 1:
-            payloads = (_execute(exp_id, quick) for exp_id, quick in work)
+            payloads = (_execute(*item) for item in work)
             for payload in payloads:
                 _land(payload, records, cache, use_cache, quick, progress)
         else:
@@ -273,7 +310,10 @@ def _land(payload, records, cache, use_cache, quick, progress) -> None:
     record = _record_from_payload(payload, cached=False)
     records[record.experiment_id] = record
     if use_cache and record.status == "ok":
-        cache.put(cache_key(record.experiment_id, quick), payload)
+        # Belt and braces: run_experiments never caches traced sweeps, but
+        # strip the trace anyway so a stored payload can never carry one.
+        stored = {k: v for k, v in payload.items() if k != "trace"}
+        cache.put(cache_key(record.experiment_id, quick), stored)
     if progress:
         progress(record)
 

@@ -1,4 +1,10 @@
-"""Console table rendering for experiment output."""
+"""Console table rendering for experiment output.
+
+Formats the reproduction's paper-vs-measured rows (the Fig 3/4/6-style
+results) as aligned ASCII tables, including the deviation-ratio column
+the golden-number tests and the CI summary print.  Pure string
+formatting — deliberately free of simulation imports.
+"""
 
 from __future__ import annotations
 

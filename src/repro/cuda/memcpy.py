@@ -127,8 +127,14 @@ def memcpy_sync(rt: CudaRuntime, dst: int, src: int, nbytes: int):
     entire transfer — "fully synchronous with respect to the host,
     therefore it does not overlap" (§V.C).
     """
+    obs = rt.sim._obs
+    span = None
+    if obs is not None:
+        span = obs.span("cuda", "memcpy_sync", nbytes=nbytes)
     yield rt.sim.timeout(rt.costs.sync_memcpy_overhead)
     yield memcpy_device_work(rt, dst, src, nbytes)
+    if span is not None:
+        span.end()
     return nbytes
 
 

@@ -53,6 +53,11 @@ class DmaEngine:
         return done
 
     def _d2h_proc(self, device_addr, host_addr, nbytes, host_array, host_offset, done):
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            # Spans include time queued behind the engine's other copies.
+            span = obs.span("gpu", "dma_d2h", nbytes=nbytes)
         yield self.busy.acquire()
         try:
             payload = None
@@ -68,6 +73,8 @@ class DmaEngine:
             self.bytes_d2h += nbytes
         finally:
             self.busy.release()
+        if span is not None:
+            span.end()
         done.succeed(nbytes)
 
     def host_to_device(
@@ -86,6 +93,10 @@ class DmaEngine:
         return done
 
     def _h2d_proc(self, host_addr, device_addr, nbytes, host_array, host_offset, done):
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            span = obs.span("gpu", "dma_h2d", nbytes=nbytes)
         yield self.busy.acquire()
         try:
             rate_ev = self._h2d.consume(nbytes)
@@ -104,6 +115,8 @@ class DmaEngine:
             self.bytes_h2d += nbytes
         finally:
             self.busy.release()
+        if span is not None:
+            span.end()
         done.succeed(nbytes)
 
     def device_to_peer(self, device_addr: int, peer_addr: int, nbytes: int) -> Event:
@@ -113,6 +126,10 @@ class DmaEngine:
         return done
 
     def _d2p_proc(self, device_addr, peer_addr, nbytes, done):
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            span = obs.span("gpu", "dma_d2p", nbytes=nbytes)
         yield self.busy.acquire()
         try:
             payload = None
@@ -128,4 +145,6 @@ class DmaEngine:
             yield self.sim.all_of([rate_ev, wire_ev])
         finally:
             self.busy.release()
+        if span is not None:
+            span.end()
         done.succeed(nbytes)

@@ -129,6 +129,13 @@ class P2PReadEngine:
                 yield write_ev
             self.requests_served += 1
             self.bytes_served += req.nbytes
+            obs = self.sim._obs
+            if obs is not None:
+                # Retroactive span from mailbox submission to response done:
+                # the Fig 3 "GPU read" phase, head latency included.
+                obs.span_at(
+                    "gpu", "p2p_read", t_submit, self.sim.now, nbytes=req.nbytes
+                )
             if req.on_complete is not None:
                 req.on_complete(req)
             done.succeed(req)

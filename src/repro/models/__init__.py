@@ -1,4 +1,10 @@
-"""Analytical models fitted from the simulated micro-benchmarks."""
+"""Analytical models fitted from the simulated micro-benchmarks.
+
+Closes the loop on the paper's latency/bandwidth discussion (§V): LogP
+parameter extraction from the simulated ping-pong sweeps, so the
+reproduction can report o/g/L figures comparable to the host-vs-GPU
+breakdowns the paper derives from its hardware measurements.
+"""
 
 from .logp import LogPParameters, extract_logp
 

@@ -123,6 +123,10 @@ class MpiEndpoint:
     def isend(self, dst: int, addr: int, nbytes: int, tag: Any = 0):
         """Generator: start a send; returns an MpiRequest."""
         req = MpiRequest("send", dst, tag, nbytes, done=Event(self.sim))
+        obs = self.sim._obs
+        if obs is not None:
+            span = obs.span("mpi", "send", dst=dst, nbytes=nbytes)
+            req.done.callbacks.append(span.end_event)
         if self._is_device(addr):
             yield from self.gpu.send(dst, addr, nbytes, tag, req)
         else:
@@ -138,6 +142,10 @@ class MpiEndpoint:
     def irecv(self, src: int, addr: int, nbytes: int, tag: Any = 0):
         """Generator: post a receive; returns an MpiRequest."""
         req = MpiRequest("recv", src, tag, nbytes, done=Event(self.sim))
+        obs = self.sim._obs
+        if obs is not None:
+            span = obs.span("mpi", "recv", src=src, nbytes=nbytes)
+            req.done.callbacks.append(span.end_event)
         if self._is_device(addr):
             yield from self.gpu.recv(src, addr, nbytes, tag, req)
         else:
@@ -267,7 +275,13 @@ class MpiEndpoint:
     def _complete_eager(self, posted: _PostedRecv, env: _Envelope, eager_addr: int) -> None:
         # Copy out of the bounce ring into the user buffer.
         def copier():
+            obs = self.sim._obs
+            span = None
+            if obs is not None:
+                span = obs.span("mpi", "eager_copy", nbytes=env.nbytes)
             yield self.sim.timeout(env.nbytes / _HOST_COPY_RATE + us(0.2))
+            if span is not None:
+                span.end()
             src_buf = self.node.runtime.host_buffer_at(eager_addr)
             if src_buf._data is not None:
                 data = src_buf.read_bytes(eager_addr, env.nbytes)

@@ -1,4 +1,10 @@
-"""Cluster-level plumbing: torus topology, packets, node composition."""
+"""Cluster-level plumbing: torus topology, packets, node composition.
+
+Assembles the paper's §II system picture: the 3D-torus coordinate math
+and dimension-order routes, the APEnet+ packet framing (header/footer
+plus bounded payload), and the per-node composition of host, GPU, PCIe
+fabric and NIC into a cluster the experiments drive.
+"""
 
 from .cluster import ApenetCluster, ClusterNode, build_apenet_cluster
 from .collectives import Collective, make_collectives

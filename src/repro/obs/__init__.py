@@ -1,0 +1,30 @@
+"""Unified observability layer: spans, counters, Chrome-trace export.
+
+The paper's analysis leans on *seeing into* the stack — a PCIe bus analyzer
+decomposing the Fig 3 G-G transfer into request/completion phases, and
+per-block timing of the ``GPU_P2P_TX`` engines and the Nios II RX path
+(§IV-§V).  This package is the reproduction's equivalent instrument: a
+zero-overhead-when-off tracing layer threaded through every simulated
+component (DES kernel channels and FIFOs, the PCIe fabric, the APEnet+
+TX/Nios/RX/torus pipeline, GPU DMA engines and the MPI shims).
+
+Activate a :class:`TraceSession`, run any workload, and export the recorded
+spans/counters as Chrome ``trace_event`` JSON loadable in Perfetto or
+``chrome://tracing``.  Observation is *observation-only*: traced runs are
+bit-identical to untraced ones (same golden numbers, same event counts) —
+see ``docs/OBSERVABILITY.md`` and DESIGN.md §9.
+"""
+
+from .chrome import chrome_trace_doc, validate_chrome_trace, write_chrome_trace
+from .report import diff_traces, summarize_trace
+from .session import Span, TraceSession
+
+__all__ = [
+    "TraceSession",
+    "Span",
+    "chrome_trace_doc",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "summarize_trace",
+    "diff_traces",
+]

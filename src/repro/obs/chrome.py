@@ -1,0 +1,222 @@
+"""Chrome ``trace_event`` export for :mod:`repro.obs` sessions.
+
+Converts the flat per-session record lists into the JSON Object Format the
+Chrome tracing ecosystem understands (Perfetto, ``chrome://tracing``,
+``trace_processor``): complete events (``ph: "X"``) for spans, counter
+events (``ph: "C"``) for queue-occupancy timelines, instant events
+(``ph: "i"``) for markers, and metadata events naming each track.  This is
+the reproduction's stand-in for the paper's PCIe bus-analyzer screenshots
+(Fig 3): load the exported file in Perfetto and the request/completion
+phases of a G-G transfer appear as nested spans per component.
+
+Track model: one *process* (pid) per (experiment, simulator-run, component)
+triple, named ``experiment/component``; spans within a process are packed
+onto the fewest *thread* (tid) lanes such that overlapping spans never share
+a lane — assignment is deterministic (spans sorted by begin time with record
+order as tie-break, first free lane wins), so exports are byte-identical
+across ``--jobs`` values.  Timestamps convert from simulated nanoseconds to
+the format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+__all__ = ["chrome_trace_doc", "write_chrome_trace", "validate_chrome_trace"]
+
+# Spans and instants go on lanes 1..N; lane 0 is reserved for counters and
+# instants so value tracks do not interleave with duration lanes.
+_META_LANE = 0
+
+
+def _lane_allocate(spans: list[tuple[int, dict]]) -> list[tuple[int, dict]]:
+    """Assign each span a lane so overlapping spans never share one.
+
+    *spans* is ``[(record_index, record), ...]``; returns ``[(lane, record)]``
+    in the same deterministic order.  Greedy first-fit over lanes ordered by
+    index: a lane is free when its last span ended at or before this span's
+    begin (exact float comparison — simulated time is exact).
+    """
+    ordered = sorted(spans, key=lambda item: (item[1]["ts"], item[0]))
+    lane_free_at: list[float] = []
+    out: list[tuple[int, dict]] = []
+    for _, rec in ordered:
+        begin = rec["ts"]
+        end = begin + rec["dur"]
+        for lane, free_at in enumerate(lane_free_at):
+            if free_at <= begin:
+                lane_free_at[lane] = end
+                out.append((lane + 1, rec))
+                break
+        else:
+            lane_free_at.append(end)
+            out.append((len(lane_free_at), rec))
+    return out
+
+
+def chrome_trace_doc(traces: dict) -> dict:
+    """Build a Chrome trace document from session payloads.
+
+    *traces* maps a label (experiment id) to a session payload as returned
+    by :meth:`~repro.obs.session.TraceSession.payload`.  Iteration order of
+    *traces* fixes pid assignment, so pass an ordered mapping (e.g. sorted
+    by experiment id) for reproducible output.
+    """
+    trace_events: list[dict] = []
+    pid = 0
+    total_dropped = 0
+    for label, payload in traces.items():
+        total_dropped += payload.get("dropped", 0)
+        multi_run = payload.get("runs", 1) > 1
+        # Group records by (run, component) in first-appearance order.
+        tracks: dict[tuple, list[tuple[int, dict]]] = {}
+        for idx, rec in enumerate(payload["events"]):
+            tracks.setdefault((rec["run"], rec["comp"]), []).append((idx, rec))
+        for (run, comp), recs in tracks.items():
+            pid += 1
+            proc_name = f"{label}/{comp}"
+            if multi_run:
+                proc_name += f"#sim{run}"
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": _META_LANE,
+                    "name": "process_name",
+                    "args": {"name": proc_name},
+                }
+            )
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": _META_LANE,
+                    "name": "process_sort_index",
+                    "args": {"sort_index": pid},
+                }
+            )
+            spans = [(idx, rec) for idx, rec in recs if rec["ph"] == "X"]
+            lanes_used = 0
+            for lane, rec in _lane_allocate(spans):
+                lanes_used = max(lanes_used, lane)
+                ev = {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": lane,
+                    "name": rec["name"],
+                    "ts": rec["ts"] / 1e3,
+                    "dur": rec["dur"] / 1e3,
+                }
+                if "args" in rec:
+                    ev["args"] = rec["args"]
+                trace_events.append(ev)
+            for lane in range(1, lanes_used + 1):
+                trace_events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": lane,
+                        "name": "thread_name",
+                        "args": {"name": f"lane {lane}"},
+                    }
+                )
+            for _, rec in recs:
+                if rec["ph"] == "C":
+                    trace_events.append(
+                        {
+                            "ph": "C",
+                            "pid": pid,
+                            "tid": _META_LANE,
+                            "name": rec["name"],
+                            "ts": rec["ts"] / 1e3,
+                            "args": {"value": rec["value"]},
+                        }
+                    )
+                elif rec["ph"] == "i":
+                    ev = {
+                        "ph": "i",
+                        "pid": pid,
+                        "tid": _META_LANE,
+                        "name": rec["name"],
+                        "ts": rec["ts"] / 1e3,
+                        "s": "p",
+                    }
+                    if "args" in rec:
+                        ev["args"] = rec["args"]
+                    trace_events.append(ev)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.obs",
+            "experiments": list(traces.keys()),
+            "dropped": total_dropped,
+        },
+    }
+
+
+def write_chrome_trace(path: Union[str, Path], traces: dict) -> Path:
+    """Export *traces* (see :func:`chrome_trace_doc`) to *path* as JSON."""
+    doc = chrome_trace_doc(traces)
+    out = Path(path)
+    if out.parent and str(out.parent) not in ("", "."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return out
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema-check a trace document; returns a list of problems (empty = ok).
+
+    Checks the subset of the trace_event format this exporter emits: the
+    top-level shape, per-phase required keys, non-negative timestamps and
+    durations, and that every pid referenced by an event carries a
+    ``process_name`` metadata record.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    named_pids = set()
+    used_pids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "C", "i", "M"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            continue
+        if "pid" in ev:
+            used_pids.add(ev["pid"])
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: counter without numeric args.value")
+        elif ph == "i":
+            if ev.get("s") not in ("g", "p", "t"):
+                problems.append(f"{where}: instant scope {ev.get('s')!r}")
+    for pid in sorted(used_pids - named_pids, key=str):
+        problems.append(f"pid {pid} has events but no process_name metadata")
+    return problems

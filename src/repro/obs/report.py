@@ -1,0 +1,182 @@
+"""Text summaries and A/B diffs of exported Chrome traces.
+
+The analysis half of :mod:`repro.obs`: where the paper reads latency
+breakdowns off a bus analyzer (Fig 3) and per-block timing tables (§IV-§V),
+this module reads them back out of an exported trace file — per-component
+span statistics (count, total, mean, p50/p99, a log₂ duration histogram),
+counter extrema for queue-occupancy tracks, and a side-by-side diff of two
+traces (e.g. P2P vs staged, or clean vs fault-injected) showing where the
+time went.
+
+Everything here consumes the *exported document* (not live sessions), so
+``python -m repro.obs summary`` works on any trace file, including ones
+produced on another machine or downloaded from a CI artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..bench.tables import render_table
+from ..sim.stats import percentile
+
+__all__ = ["span_stats", "summarize_trace", "diff_traces"]
+
+_HIST_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def _process_names(doc: dict) -> dict:
+    names = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev["pid"]] = ev["args"]["name"]
+    return names
+
+
+def _component_of(process_name: str) -> str:
+    # Process names are "experiment/component[#simN]" (see chrome.py).
+    comp = process_name.split("/", 1)[1] if "/" in process_name else process_name
+    return comp.split("#", 1)[0]
+
+
+def span_stats(doc: dict) -> dict:
+    """Aggregate span durations by (component, span name).
+
+    Returns ``{(component, name): [durations_us...]}`` pulled from an
+    exported trace document.  Durations are in microseconds (the trace
+    format's native unit).
+    """
+    names = _process_names(doc)
+    stats: dict = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        comp = _component_of(names.get(ev["pid"], str(ev["pid"])))
+        stats.setdefault((comp, ev["name"]), []).append(ev["dur"])
+    return stats
+
+
+def _histogram(durations: list, buckets: int = 8) -> str:
+    """A compact log₂ histogram sparkline over span durations."""
+    if not durations:
+        return ""
+    exps = [max(0, int(math.log2(d)) if d >= 1.0 else 0) for d in durations]
+    lo, hi = min(exps), max(exps)
+    span = max(1, hi - lo + 1)
+    counts = [0] * min(buckets, span)
+    scale = len(counts) / span
+    for e in exps:
+        counts[min(len(counts) - 1, int((e - lo) * scale))] += 1
+    peak = max(counts)
+    return "".join(
+        _HIST_GLYPHS[min(len(_HIST_GLYPHS) - 1, (c * (len(_HIST_GLYPHS) - 1) + peak - 1) // peak)]
+        if c
+        else _HIST_GLYPHS[0]
+        for c in counts
+    )
+
+
+def _counter_rows(doc: dict) -> list:
+    names = _process_names(doc)
+    tracks: dict = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "C":
+            continue
+        comp = _component_of(names.get(ev["pid"], str(ev["pid"])))
+        key = (comp, ev["name"])
+        value = ev["args"]["value"]
+        entry = tracks.setdefault(key, [0, value, value])
+        entry[0] += 1
+        entry[1] = max(entry[1], value)
+        entry[2] = value  # records arrive in emission order: last sample
+    return [
+        [comp, name, n, peak, last]
+        for (comp, name), (n, peak, last) in sorted(tracks.items())
+    ]
+
+
+def summarize_trace(doc: dict) -> str:
+    """Render per-component span statistics and counter tracks as text."""
+    stats = span_stats(doc)
+    rows = []
+    for (comp, name), durs in sorted(stats.items()):
+        rows.append(
+            [
+                comp,
+                name,
+                len(durs),
+                sum(durs),
+                sum(durs) / len(durs),
+                percentile(durs, 50),
+                percentile(durs, 99),
+                _histogram(durs),
+            ]
+        )
+    out = [
+        render_table(
+            ["component", "span", "count", "total µs", "mean µs", "p50 µs", "p99 µs", "log2 hist"],
+            rows,
+            title="Span latency by component",
+        )
+    ]
+    counter_rows = _counter_rows(doc)
+    if counter_rows:
+        out.append("")
+        out.append(
+            render_table(
+                ["component", "track", "samples", "peak", "last"],
+                counter_rows,
+                title="Counter tracks (queue occupancy)",
+            )
+        )
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    if dropped:
+        out.append("")
+        out.append(f"WARNING: {dropped} records dropped at the session cap")
+    return "\n".join(out)
+
+
+def diff_traces(doc_a: dict, doc_b: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Side-by-side per-(component, span) comparison of two traces.
+
+    Useful for the paper's central comparisons — P2P vs staged (§V.A),
+    clean vs fault-injected — the diff shows, per pipeline stage, how span
+    counts and total time shift between the two runs.
+    """
+    stats_a = span_stats(doc_a)
+    stats_b = span_stats(doc_b)
+    rows = []
+    for key in sorted(set(stats_a) | set(stats_b)):
+        comp, name = key
+        durs_a = stats_a.get(key, [])
+        durs_b = stats_b.get(key, [])
+        total_a = sum(durs_a)
+        total_b = sum(durs_b)
+        delta: Optional[float] = None
+        if total_a > 0:
+            delta = (total_b - total_a) / total_a * 100.0
+        rows.append(
+            [
+                comp,
+                name,
+                len(durs_a),
+                len(durs_b),
+                total_a,
+                total_b,
+                "n.a." if delta is None else f"{delta:+.1f}%",
+            ]
+        )
+    return render_table(
+        [
+            "component",
+            "span",
+            f"count {label_a}",
+            f"count {label_b}",
+            f"total µs {label_a}",
+            f"total µs {label_b}",
+            "Δ total",
+        ],
+        rows,
+        title=f"Trace diff: {label_a} vs {label_b}",
+    )

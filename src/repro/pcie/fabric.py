@@ -284,6 +284,10 @@ class PCIeFabric:
         if b < 1:
             raise SimulationError("write batch must be >= 1")
         done = Event(self.sim)
+        obs = self.sim._obs
+        if obs is not None:
+            span = obs.span("pcie", "write", initiator=initiator.name, nbytes=nbytes)
+            done.callbacks.append(span.end_event)
         self.sim.process(
             self._write_proc(initiator, addr, nbytes, payload, behavior, hops, q, b, done),
             name=f"wr:{initiator.name}->0x{addr:x}",
@@ -408,6 +412,10 @@ class PCIeFabric:
         fwd = self.path(self._device_node(initiator), self._device_node(target))
         rev = self.path(self._device_node(target), self._device_node(initiator))
         done = Event(self.sim)
+        obs = self.sim._obs
+        if obs is not None:
+            span = obs.span("pcie", "read", initiator=initiator.name, nbytes=nbytes)
+            done.callbacks.append(span.end_event)
         self.sim.process(
             self._read_proc(initiator, addr, nbytes, behavior, fwd, rev, done),
             name=f"rd:{initiator.name}<-0x{addr:x}",
@@ -474,6 +482,16 @@ class PCIeFabric:
         if rs > self.mrrs:
             raise SimulationError(f"request_size {rs} exceeds MRRS {self.mrrs}")
         done = Event(self.sim)
+        obs = self.sim._obs
+        if obs is not None:
+            span = obs.span(
+                "pcie",
+                "read_pipelined",
+                initiator=initiator.name,
+                nbytes=nbytes,
+                outstanding=outstanding,
+            )
+            done.callbacks.append(span.end_event)
         self.sim.process(
             self._read_pipelined_proc(initiator, addr, nbytes, outstanding, rs, on_data, done),
             name=f"rdpipe:{initiator.name}",

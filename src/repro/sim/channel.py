@@ -85,6 +85,13 @@ class Channel:
         self.total_bytes += nbytes
         self.total_transfers += 1
         done_at = start + ser + self.latency
+        obs = self.sim._obs
+        if obs is not None:
+            # The completion time is known up front, so the span is recorded
+            # retroactively: no extra events, traced runs stay bit-identical.
+            obs.span_at(
+                "sim", self.name or "channel", start, done_at, nbytes=nbytes
+            )
         ev = self.sim.timeout(done_at - now, payload)
         if self.deliver is not None:
             deliver = self.deliver
@@ -136,6 +143,11 @@ class RateLimiter:
         start = max(now, self._free_at)
         self._free_at = start + nbytes / self.rate
         self.total_bytes += nbytes
+        obs = self.sim._obs
+        if obs is not None:
+            obs.span_at(
+                "sim", self.name or "rate", start, self._free_at, nbytes=nbytes
+            )
         return self.sim.timeout(self._free_at - now, payload)
 
     @property

@@ -39,6 +39,9 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "kernel_event_count",
+    "push_observer",
+    "pop_observer",
+    "active_observers",
 ]
 
 _INF = float("inf")
@@ -53,6 +56,36 @@ _KERNEL_STATS = {"events": 0}
 def kernel_event_count() -> int:
     """Total events processed by all Simulators in this process so far."""
     return _KERNEL_STATS["events"]
+
+
+# Active trace sessions (repro.obs.TraceSession), innermost last.  Like the
+# sanitizer, observation is opt-in and observation-only: when the tuple is
+# empty every Simulator carries ``_obs = None`` and the instrumented models
+# pay exactly one attribute load + is-None test per probe site.  The kernel
+# knows nothing about session internals — it only asks a session for a
+# per-simulator scope at construction time.
+_OBSERVERS: tuple = ()
+
+
+def push_observer(session) -> None:
+    """Activate *session*: Simulators created from now on report to it."""
+    global _OBSERVERS
+    _OBSERVERS = _OBSERVERS + (session,)
+
+
+def pop_observer(session) -> None:
+    """Deactivate *session* (removes the innermost matching entry)."""
+    global _OBSERVERS
+    for i in range(len(_OBSERVERS) - 1, -1, -1):
+        if _OBSERVERS[i] is session:
+            _OBSERVERS = _OBSERVERS[:i] + _OBSERVERS[i + 1 :]
+            return
+    raise SimulationError("pop_observer: session is not active")
+
+
+def active_observers() -> tuple:
+    """The currently active trace sessions (innermost last)."""
+    return _OBSERVERS
 
 
 class SimulationError(RuntimeError):
@@ -315,7 +348,15 @@ class Simulator:
 
     # Slots: `sim.now` is read on every transfer/timeout across the whole
     # model, and slot access beats instance-dict lookup.
-    __slots__ = ("now", "_heap", "_seq", "_running", "events_processed", "_sanitizer")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_running",
+        "events_processed",
+        "_sanitizer",
+        "_obs",
+    )
 
     def __init__(self, sanitize: Optional[bool] = None):
         self.now: float = 0.0
@@ -333,6 +374,21 @@ class Simulator:
             self._sanitizer = Sanitizer(self)
         else:
             self._sanitizer = None
+        # Observation-only tracing (repro.obs).  A scope binds this simulator
+        # to every active TraceSession; None when tracing is off, so probe
+        # sites cost one attribute load + is-None test.
+        if _OBSERVERS:
+            if len(_OBSERVERS) == 1:
+                self._obs = _OBSERVERS[0].scope_for(self)
+            else:
+                self._obs = _OBSERVERS[0].fanout_scope(self, _OBSERVERS)
+        else:
+            self._obs = None
+
+    @property
+    def obs(self):
+        """The attached trace scope (see :mod:`repro.obs`), or None."""
+        return self._obs
 
     @property
     def sanitizer(self):

@@ -68,6 +68,7 @@ class Resource:
             self._grant(ev)
         else:
             self._waiters.append(ev)
+        self._sample_obs()
         return ev
 
     def _grant(self, ev: Event) -> None:
@@ -86,6 +87,14 @@ class Resource:
             self._busy_since = None
         if self._waiters and self._in_use < self.capacity:
             self._grant(self._waiters.popleft())
+        self._sample_obs()
+
+    def _sample_obs(self) -> None:
+        # Occupancy timeline for named resources (observation-only).
+        obs = self.sim._obs
+        if obs is not None and self.name:
+            obs.counter("sim", self.name + ".in_use", float(self._in_use))
+            obs.counter("sim", self.name + ".queue", float(len(self._waiters)))
 
     def busy_time(self) -> float:
         """Total time the resource had at least one holder."""
@@ -233,6 +242,7 @@ class ByteFifo:
         return ev
 
     def _drain(self) -> None:
+        level_before = self._level
         progressed = True
         while progressed:
             progressed = False
@@ -263,6 +273,10 @@ class ByteFifo:
                     self.total_out += n
                     ev.succeed(n)
                     progressed = True
+        if self._level != level_before:
+            obs = self.sim._obs
+            if obs is not None and self.name:
+                obs.counter("sim", self.name + ".level", float(self._level))
 
 
 class PacketFifo:
@@ -333,6 +347,7 @@ class PacketFifo:
         return ev
 
     def _drain(self) -> None:
+        level_before = self._level
         progressed = True
         while progressed:
             progressed = False
@@ -354,3 +369,7 @@ class PacketFifo:
                 self.total_packets_out += 1
                 ev.succeed(pkt)
                 progressed = True
+        if self._level != level_before:
+            obs = self.sim._obs
+            if obs is not None and self.name:
+                obs.counter("sim", self.name + ".level", float(self._level))

@@ -1,4 +1,11 @@
-"""Instrumentation: bandwidth meters and structured event traces."""
+"""Instrumentation: bandwidth meters and structured event traces.
+
+In-model measurement helpers (windowed bandwidth meters, per-flow event
+logs) that experiments read programmatically to produce their Fig 3/4
+curves.  Distinct from :mod:`repro.obs`, the cross-cutting observability
+layer: these objects are part of a model's wiring and affect nothing
+when unused, while ``repro.obs`` taps existing components externally.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,72 @@
+"""The module-docstring completeness check (`repro.analysis docstrings`)."""
+
+import pytest
+
+from repro.analysis.docstrings import MIN_WORDS, check_paths, check_source
+
+
+def _problems(source):
+    return [f.problem for f in check_source(source, "mod.py")]
+
+
+def test_missing_docstring_is_flagged():
+    assert _problems("x = 1\n") == ["missing module docstring"]
+
+
+def test_stub_docstring_is_flagged():
+    (problem,) = _problems('"""Too short."""\n')
+    assert "stub" in problem and str(MIN_WORDS) in problem
+
+
+def test_real_paragraph_passes():
+    doc = '"""' + " ".join(["word"] * MIN_WORDS) + '"""\n'
+    assert _problems(doc) == []
+
+
+def test_unparseable_module_is_flagged():
+    (problem,) = _problems("def broken(:\n")
+    assert problem.startswith("unparseable")
+
+
+def test_check_paths_walks_directories(tmp_path):
+    (tmp_path / "good.py").write_text(
+        '"""A proper docstring with comfortably more than the minimum words."""\n'
+    )
+    (tmp_path / "bad.py").write_text("x = 1\n")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "stub.py").write_text('"""Nope."""\n')
+    findings = check_paths([tmp_path])
+    assert sorted(f.path.name for f in findings) == ["bad.py", "stub.py"]
+
+
+def test_repo_src_tree_is_docstring_clean():
+    assert check_paths(["src/repro"]) == []
+
+
+def test_finding_render_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("\n")
+    (finding,) = check_paths([bad])
+    assert finding.render() == f"{bad}: missing module docstring"
+
+
+@pytest.mark.parametrize(
+    "argv,expected",
+    [(["docstrings", "src/repro"], 0), (["docstrings"], 0)],
+)
+def test_cli_clean_tree_exits_zero(argv, expected, capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(argv) == expected
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_nonzero(tmp_path, capsys):
+    from repro.analysis.__main__ import main
+
+    (tmp_path / "bad.py").write_text("x = 1\n")
+    assert main(["docstrings", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "missing module docstring" in out
+    assert "1 finding(s)" in out

@@ -1,0 +1,169 @@
+"""Chrome trace_event export: lane allocation, schema, determinism.
+
+The exported document is what Perfetto loads and what CI archives, so
+these tests pin the track model (one pid per (experiment, run, component),
+deterministic lane packing for overlapping spans) and exercise the schema
+validator on both the exporter's own output and hand-broken documents.
+"""
+
+import json
+
+from repro.obs import TraceSession, chrome_trace_doc, validate_chrome_trace, write_chrome_trace
+from repro.obs.chrome import _lane_allocate
+
+
+def _span(comp, name, ts, dur, run=0, **args):
+    rec = {"ph": "X", "run": run, "comp": comp, "name": name, "ts": ts, "dur": dur}
+    if args:
+        rec["args"] = args
+    return rec
+
+
+def _payload(events, label="exp", runs=1, dropped=0):
+    return {"label": label, "runs": runs, "dropped": dropped, "events": events}
+
+
+# ---------------------------------------------------------------------------
+# Lane allocation
+# ---------------------------------------------------------------------------
+
+
+def test_overlapping_spans_get_distinct_lanes():
+    spans = [
+        (0, _span("c", "a", 0.0, 10.0)),
+        (1, _span("c", "b", 5.0, 10.0)),  # overlaps a
+        (2, _span("c", "c", 10.0, 5.0)),  # lane 1 free again (exact touch)
+    ]
+    lanes = {rec["name"]: lane for lane, rec in _lane_allocate(spans)}
+    assert lanes == {"a": 1, "b": 2, "c": 1}
+
+
+def test_lane_allocation_ties_break_by_record_index():
+    spans = [
+        (1, _span("c", "second", 0.0, 4.0)),
+        (0, _span("c", "first", 0.0, 4.0)),
+    ]
+    out = _lane_allocate(spans)
+    assert [(lane, rec["name"]) for lane, rec in out] == [
+        (1, "first"),
+        (2, "second"),
+    ]
+
+
+def test_deep_nesting_uses_first_free_lane():
+    spans = [(i, _span("c", f"s{i}", float(i), 100.0)) for i in range(5)]
+    lanes = [lane for lane, _ in _lane_allocate(spans)]
+    assert lanes == [1, 2, 3, 4, 5]
+
+
+# ---------------------------------------------------------------------------
+# Document construction
+# ---------------------------------------------------------------------------
+
+
+def test_doc_structure_and_unit_conversion():
+    payload = _payload(
+        [
+            _span("pcie", "write", 1000.0, 2000.0, nbytes=64),
+            {"ph": "C", "run": 0, "comp": "pcie", "name": "q", "ts": 0.0, "value": 2},
+            {"ph": "i", "run": 0, "comp": "pcie", "name": "drop", "ts": 500.0},
+        ]
+    )
+    doc = chrome_trace_doc({"exp": payload})
+    assert validate_chrome_trace(doc) == []
+    assert doc["otherData"]["experiments"] == ["exp"]
+    by_ph = {}
+    for ev in doc["traceEvents"]:
+        by_ph.setdefault(ev["ph"], []).append(ev)
+    (span,) = by_ph["X"]
+    assert span["ts"] == 1.0 and span["dur"] == 2.0  # ns -> µs
+    assert span["args"] == {"nbytes": 64}
+    (counter,) = by_ph["C"]
+    assert counter["args"]["value"] == 2 and counter["tid"] == 0
+    (instant,) = by_ph["i"]
+    assert instant["s"] == "p"
+    names = {ev["name"]: ev for ev in by_ph["M"]}
+    assert names["process_name"]["args"]["name"] == "exp/pcie"
+    assert "thread_name" in names
+
+
+def test_multi_run_payload_names_each_simulator():
+    payload = _payload(
+        [_span("sim", "a", 0.0, 1.0, run=0), _span("sim", "b", 0.0, 1.0, run=1)],
+        runs=2,
+    )
+    doc = chrome_trace_doc({"e": payload})
+    proc_names = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "process_name"
+    }
+    assert proc_names == {"e/sim#sim0", "e/sim#sim1"}
+    assert validate_chrome_trace(doc) == []
+
+
+def test_dropped_counts_are_surfaced():
+    doc = chrome_trace_doc({"a": _payload([], dropped=3), "b": _payload([], dropped=4)})
+    assert doc["otherData"]["dropped"] == 7
+
+
+def test_write_chrome_trace_is_byte_deterministic(tmp_path):
+    payload = _payload([_span("sim", "x", 0.0, 5.0)])
+    p1 = write_chrome_trace(tmp_path / "a" / "t1.json", {"e": payload})
+    p2 = write_chrome_trace(tmp_path / "t2.json", {"e": payload})
+    assert p1.read_bytes() == p2.read_bytes()
+    assert validate_chrome_trace(json.loads(p1.read_text())) == []
+
+
+# ---------------------------------------------------------------------------
+# Validator negatives
+# ---------------------------------------------------------------------------
+
+
+def test_validator_rejects_non_document_shapes():
+    assert validate_chrome_trace([]) == ["document is not a JSON object"]
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    assert validate_chrome_trace({"traceEvents": 3}) == [
+        "traceEvents missing or not a list"
+    ]
+
+
+def test_validator_flags_broken_events():
+    doc = {
+        "traceEvents": [
+            "not-an-object",
+            {"ph": "Z", "pid": 1, "tid": 0, "name": "x"},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": -1.0, "dur": -2.0},
+            {"ph": "C", "pid": 1, "tid": 0, "name": "c", "ts": 0.0, "args": {}},
+            {"ph": "i", "pid": 1, "tid": 0, "name": "i", "ts": 0.0, "s": "q"},
+            {"ph": "X", "tid": 1, "ts": 0.0, "dur": 1.0},
+        ]
+    }
+    problems = validate_chrome_trace(doc)
+    assert any("not an object" in p for p in problems)
+    assert any("unknown phase" in p for p in problems)
+    assert any("bad ts" in p for p in problems)
+    assert any("bad dur" in p for p in problems)
+    assert any("numeric args.value" in p for p in problems)
+    assert any("instant scope" in p for p in problems)
+    assert any("missing 'pid'" in p for p in problems)
+    assert any("no process_name metadata" in p for p in problems)
+
+
+def test_validator_accepts_real_session_output():
+    session = TraceSession(label="real")
+    with session.activate():
+        from repro.sim import Simulator
+        from repro.units import ns
+
+        sim = Simulator()
+
+        def proc():
+            span = sim._obs.span("sim", "w")
+            yield sim.timeout(ns(10.0))
+            span.end()
+
+        sim.process(proc())
+        sim.run()
+    doc = chrome_trace_doc({"real": session.payload()})
+    assert validate_chrome_trace(doc) == []

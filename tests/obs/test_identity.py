@@ -1,0 +1,105 @@
+"""The bit-identity and determinism guarantees of traced runs.
+
+Two load-bearing properties (DESIGN.md §9):
+
+* tracing is observation-only — a traced run's behavioural fingerprint
+  (final simulated time, event count) is *exactly* equal to an untraced
+  run's, over a workload that crosses every instrumented layer;
+* traces are deterministic — the merged Chrome export of a traced sweep
+  is byte-identical across ``--jobs`` values (each experiment records
+  into its own session, so worker scheduling cannot reorder records).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.experiments.selftest import _obs_smoke_workload, observability_smoke
+from repro.bench.runner import run_experiments
+from repro.obs import TraceSession, chrome_trace_doc, validate_chrome_trace
+from repro.sim import Channel, Simulator
+from repro.units import GBps, ns
+
+
+def test_traced_run_is_bit_identical_to_untraced():
+    baseline = _obs_smoke_workload()
+    session = TraceSession()
+    with session.activate():
+        traced = _obs_smoke_workload()
+    assert traced == baseline  # exact float equality, by design
+    assert session.span_count() > 0
+
+
+def test_smoke_covers_every_instrumented_layer():
+    smoke = observability_smoke()
+    assert smoke["identical"] is True
+    assert {"apenet", "cuda", "gpu", "mpi", "pcie", "sim"} <= set(smoke["components"])
+    assert smoke["spans"] > 0
+
+
+@pytest.fixture
+def traced_experiments():
+    """Two tiny simulation-backed experiments, unregistered on teardown."""
+    ids = []
+    for exp_id, n in [("_t_obs_sim_a", 3), ("_t_obs_sim_b", 5)]:
+
+        def runner(quick, _n=n, _id=exp_id):
+            """Toy traced workload: n serialized channel transfers."""
+            sim = Simulator()
+            ch = Channel(sim, bandwidth=GBps(2.0), latency=ns(50.0), name="t-wire")
+
+            def proc():
+                for i in range(_n):
+                    yield ch.transfer(256 * (i + 1))
+                    span = sim._obs and sim._obs.span("sim", "beat", i=i)
+                    yield sim.timeout(ns(10.0))
+                    if span:
+                        span.end()
+
+            sim.process(proc())
+            sim.run()
+            return harness.ExperimentResult(
+                experiment_id=_id,
+                title="obs determinism probe",
+                rendered=f"t={sim.now}",
+                comparisons=[("final time", sim.now, None, "ns")],
+            )
+
+        harness.register(exp_id, "obs determinism probe", "—")(runner)
+        ids.append(exp_id)
+    try:
+        yield ids
+    finally:
+        for exp_id in ids:
+            harness._REGISTRY.pop(exp_id, None)
+
+
+def test_traced_sweep_is_byte_identical_across_jobs(traced_experiments):
+    def export(jobs):
+        records = run_experiments(
+            traced_experiments, jobs=jobs, use_cache=False, trace=True
+        )
+        assert all(r.status == "ok" for r in records)
+        traces = {r.experiment_id: r.trace for r in records}
+        doc = chrome_trace_doc(traces)
+        assert validate_chrome_trace(doc) == []
+        return json.dumps(doc, sort_keys=True)
+
+    assert export(jobs=1) == export(jobs=2)
+
+
+def test_trace_forces_cache_off_and_trace_rides_records(tmp_path, traced_experiments):
+    records = run_experiments(
+        traced_experiments, cache_dir=tmp_path, use_cache=True, trace=True
+    )
+    assert list(tmp_path.iterdir()) == []  # tracing never populates the cache
+    for record in records:
+        assert record.trace is not None
+        assert record.trace["events"], "traced experiment recorded nothing"
+        assert "trace" not in record.to_dict()  # JSON artifact stays lean
+
+
+def test_untraced_sweep_carries_no_trace(traced_experiments):
+    records = run_experiments(traced_experiments, use_cache=False)
+    assert all(r.trace is None for r in records)

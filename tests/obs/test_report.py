@@ -1,0 +1,81 @@
+"""Trace summaries and diffs (the ``repro.obs summary|diff`` back end)."""
+
+from repro.obs import chrome_trace_doc, diff_traces, summarize_trace
+from repro.obs.report import _histogram, span_stats
+
+
+def _doc(spans, label="exp", counters=()):
+    events = [
+        {"ph": "X", "run": 0, "comp": comp, "name": name, "ts": ts, "dur": dur}
+        for comp, name, ts, dur in spans
+    ]
+    events += [
+        {"ph": "C", "run": 0, "comp": comp, "name": name, "ts": ts, "value": v}
+        for comp, name, ts, v in counters
+    ]
+    return chrome_trace_doc(
+        {label: {"label": label, "runs": 1, "dropped": 0, "events": events}}
+    )
+
+
+def test_span_stats_groups_by_component_and_name():
+    doc = _doc(
+        [
+            ("pcie", "write", 0.0, 1000.0),
+            ("pcie", "write", 2000.0, 3000.0),
+            ("apenet", "rx", 0.0, 500.0),
+        ]
+    )
+    stats = span_stats(doc)
+    assert sorted(stats) == [("apenet", "rx"), ("pcie", "write")]
+    assert stats[("pcie", "write")] == [1.0, 3.0]  # µs
+    assert stats[("apenet", "rx")] == [0.5]
+
+
+def test_span_stats_strips_sim_run_suffix():
+    events = [
+        {"ph": "X", "run": r, "comp": "sim", "name": "w", "ts": 0.0, "dur": 1000.0}
+        for r in (0, 1)
+    ]
+    doc = chrome_trace_doc(
+        {"e": {"label": "e", "runs": 2, "dropped": 0, "events": events}}
+    )
+    stats = span_stats(doc)
+    assert stats == {("sim", "w"): [1.0, 1.0]}
+
+
+def test_summarize_trace_renders_spans_counters_and_drop_warning():
+    doc = _doc(
+        [("pcie", "write", 0.0, 1000.0)],
+        counters=[("sim", "q.level", 0.0, 2), ("sim", "q.level", 10.0, 1)],
+    )
+    doc["otherData"]["dropped"] = 5
+    text = summarize_trace(doc)
+    assert "Span latency by component" in text
+    assert "pcie" in text and "write" in text
+    assert "Counter tracks" in text and "q.level" in text
+    assert "5 records dropped" in text
+
+
+def test_summarize_trace_without_counters_has_single_table():
+    text = summarize_trace(_doc([("sim", "w", 0.0, 1000.0)]))
+    assert "Counter tracks" not in text
+    assert "WARNING" not in text
+
+
+def test_histogram_shapes():
+    assert _histogram([]) == ""
+    assert len(_histogram([1.0])) == 1
+    sparkline = _histogram([1.0, 2.0, 4.0, 256.0, 300.0, 0.001])
+    assert len(sparkline) <= 8
+    assert any(ch != " " for ch in sparkline)
+
+
+def test_diff_traces_reports_deltas_and_missing_sides():
+    doc_a = _doc([("pcie", "write", 0.0, 1000.0), ("apenet", "rx", 0.0, 1000.0)])
+    doc_b = _doc([("pcie", "write", 0.0, 2000.0), ("gpu", "dma_d2h", 0.0, 500.0)])
+    text = diff_traces(doc_a, doc_b, label_a="before", label_b="after")
+    assert "Trace diff: before vs after" in text
+    assert "+100.0%" in text  # write total doubled
+    assert "n.a." in text  # gpu span absent in A
+    assert "apenet" in text and "gpu" in text
