@@ -41,6 +41,7 @@ DOC_FILES = [
 #: Commands cheap enough to execute for real (matched after normalisation).
 SMOKE_RUN = {
     "python -m repro.bench --list",
+    "python -m repro.bench recovery --quick --no-cache",
     "python -m repro.analysis lint --explain",
     "python -m repro.analysis docstrings src/repro",
 }

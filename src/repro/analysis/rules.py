@@ -1,6 +1,6 @@
 """DES-specific AST lint rules.
 
-Three rule families guard the properties the reproduction's golden-number
+Four rule families guard the properties the reproduction's golden-number
 argument rests on (see DESIGN.md, "DES sanitizer"):
 
 * **DET001 — nondeterminism hazards.**  The simulator must produce
@@ -16,6 +16,10 @@ argument rests on (see DESIGN.md, "DES sanitizer"):
   ``python -O`` so load-bearing invariants must be explicit ``raise``\\ s of
   typed errors; broad ``except Exception`` handlers can swallow structured
   failures like :class:`~repro.faults.LinkFailure` unless they re-raise.
+* **RETRY001 — retry hazards.**  A retry loop that sleeps the *same*
+  delay every attempt hammers whatever it is retrying against; the
+  recovery layer's own loops (:mod:`repro.faults`, :mod:`repro.recovery`)
+  back off exponentially, and this rule keeps it that way.
 
 A finding is suppressed by a ``# repro: noqa`` comment on the reported
 line, optionally scoped to rules: ``# repro: noqa-SIM001`` or
@@ -42,6 +46,11 @@ RULES = {
     "SIM001": (
         "hot-path hazard: load-bearing assert (stripped under python -O) or "
         "broad except that can swallow LinkFailure without re-raising"
+    ),
+    "RETRY001": (
+        "retry hazard: retry/attempt loop sleeps a constant delay every "
+        "iteration; back the delay off per attempt (e.g. base * factor ** n) "
+        "so repeated failures do not hammer a congested resource"
     ),
 }
 
@@ -142,6 +151,9 @@ class _RuleVisitor(ast.NodeVisitor):
     def __init__(self, path: str):
         self.path = path
         self.findings: list[Finding] = []
+        # (line, col) already reported for RETRY001 — nested loops walk
+        # overlapping subtrees and must not report the same delay twice.
+        self._retry_seen: set[tuple[int, int]] = set()
 
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
@@ -232,6 +244,7 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_set_iteration(node.iter)
+        self._check_retry_loop(node)
         self.generic_visit(node)
 
     def _visit_comprehensions(self, node) -> None:
@@ -278,6 +291,69 @@ class _RuleVisitor(ast.NodeVisitor):
                         "raw literal delay; the clock is nanoseconds — write "
                         "ns(x)/us(x) so the unit is visible",
                     )
+
+    # -- RETRY001 -----------------------------------------------------------
+
+    _SLEEP_TAILS = ("timeout", "sleep")
+    #: unit helpers whose result is as constant as their arguments.
+    _UNIT_HELPERS = ("ns", "us", "ms", "s")
+
+    def _loop_is_retryish(self, node) -> bool:
+        """A loop that counts retries/attempts somewhere in header or body."""
+        for sub in ast.walk(node):
+            name = ""
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            lowered = name.lower()
+            if "retry" in lowered or "retries" in lowered or "attempt" in lowered:
+                return True
+        return False
+
+    def _delay_kind(self, arg: ast.AST) -> str:
+        """'backoff' (computed per attempt), 'constant', or 'unknown'."""
+        if any(isinstance(sub, ast.BinOp) for sub in ast.walk(arg)):
+            return "backoff"
+        if isinstance(arg, ast.Call):
+            tail = _dotted(arg.func).rsplit(".", 1)[-1]
+            if tail in self._UNIT_HELPERS:
+                return "constant"
+            return "unknown"  # some computation we cannot see through
+        if _is_nonzero_number(arg) or isinstance(arg, (ast.Name, ast.Attribute)):
+            return "constant"
+        return "unknown"
+
+    def _check_retry_loop(self, node) -> None:
+        if not self._loop_is_retryish(node):
+            return
+        delays: list[tuple[ast.AST, str]] = []
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Call) and sub.args):
+                continue
+            if _dotted(sub.func).rsplit(".", 1)[-1] in self._SLEEP_TAILS:
+                delays.append((sub.args[0], self._delay_kind(sub.args[0])))
+        kinds = [kind for _a, kind in delays]
+        if "backoff" in kinds:
+            return  # some path backs off; give the loop the benefit of doubt
+        for arg, kind in delays:
+            if kind != "constant":
+                continue
+            where = (arg.lineno, arg.col_offset)
+            if where in self._retry_seen:
+                continue
+            self._retry_seen.add(where)
+            self._emit(
+                arg,
+                "RETRY001",
+                "retry loop waits a constant delay every attempt; back it "
+                "off per attempt (e.g. base * factor ** attempts) so "
+                "repeated failures do not hammer the congested path",
+            )
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_retry_loop(node)
+        self.generic_visit(node)
 
     # -- SIM001 -------------------------------------------------------------
 

@@ -66,6 +66,15 @@ class ApenetEndpoint:
         self.card.host_v2p.map_range(self._fw_mailbox.addr, 4096)
         self._get_waiting: dict[int, Event] = {}
         self._peers: Optional[list["ApenetEndpoint"]] = None
+        # --- End-to-end recovery state (repro.recovery) ---
+        # Manager attached by the cluster builder; None keeps every code
+        # path bit-identical to the recovery-free endpoint.
+        self.recovery = None
+        self.reliable_puts = 0
+        self._tx_seq: dict[int, int] = {}  # per-destination sequence numbers
+        self._rput_waiting: dict[tuple[int, int], Event] = {}  # (dst, seq) -> ACK event
+        self._rx_delivered: dict[int, set] = {}  # src rank -> delivered seqs
+        self._staging_buf = None  # lazy host bounce buffer for degraded PUTs
 
     @property
     def rank(self) -> int:
@@ -145,6 +154,17 @@ class ApenetEndpoint:
             attrs = yield from self.runtime.pointer_get_attributes(local_addr)
             src_kind = BufferKind.GPU if attrs.is_device else BufferKind.HOST
 
+        mgr = self.recovery
+        if mgr is not None and src_kind is BufferKind.GPU:
+            mgr.stats.gpu_puts += 1
+            if mgr.should_degrade(self.card):
+                # Sick NIC (Nios stall budget / TLP replay storm crossed):
+                # transparently fall back from P2P to host staging — bounce
+                # the source through host memory and post a HOST-kind PUT.
+                local_addr = yield from self._stage_degraded(local_addr, nbytes)
+                src_kind = BufferKind.HOST
+                mgr.stats.degraded_puts += 1
+
         gpu_index = 0
         data = None
         if src_kind is BufferKind.GPU:
@@ -191,6 +211,143 @@ class ApenetEndpoint:
         yield from self.driver.submit(job)
         self.puts_posted += 1
         return job.local_done
+
+    def _stage_degraded(self, local_addr: int, nbytes: int):
+        """Generator: D2H-copy a GPU source into the host bounce buffer.
+
+        Returns the staged address.  The bounce buffer is lazily allocated
+        and grown; a degraded endpoint reuses it for every PUT, like the
+        persistent staging buffers of the paper's host-staged path.
+        """
+        if self._staging_buf is None or self._staging_buf.size < nbytes:
+            self._staging_buf = self.runtime.host_alloc(max(nbytes, 65536))
+        from ..cuda.memcpy import memcpy_sync
+
+        yield from memcpy_sync(self.runtime, self._staging_buf.addr, local_addr, nbytes)
+        return self._staging_buf.addr
+
+    # ------------------------------------------------------------------
+    # Reliable PUT (end-to-end transaction layer, repro.recovery)
+    # ------------------------------------------------------------------
+
+    def reliable_put(
+        self,
+        dst_rank: int,
+        local_addr: int,
+        remote_addr: int,
+        nbytes: int,
+        src_kind: Optional[BufferKind] = None,
+        tag: Any = None,
+    ):
+        """Generator: PUT with end-to-end delivery guarantees.
+
+        Wraps :meth:`put` in the recovery layer's transaction protocol:
+        each message carries a per-destination sequence number, the
+        receiver ACKs delivery (and re-ACKs duplicates), and the sender
+        replays on an exponentially backed-off deadline until the bounded
+        replay budget runs out.  Replays are idempotent — the receiver
+        suppresses duplicate delivery, so a message never lands twice in
+        application (or GPU) memory.  Returns a structured
+        :class:`~repro.recovery.PutOutcome`; never raises on delivery
+        failure and never silently loses a message.
+        """
+        mgr = self.recovery
+        if mgr is None:
+            raise RuntimeError(
+                "reliable_put needs a recovery manager "
+                "(build_apenet_cluster(..., recovery=RecoveryPolicy()))"
+            )
+        from ..recovery import PutOutcome
+
+        policy = mgr.policy
+        seq = self._tx_seq.get(dst_rank, 0) + 1
+        self._tx_seq[dst_rank] = seq
+        self.reliable_puts += 1
+        dst_coord = self.card.shape.coord(dst_rank)
+        acked = Event(self.sim)
+        self._rput_waiting[(dst_rank, seq)] = acked
+        wire_tag = ("__rput__", self.rank, seq, tag)
+        t0 = self.sim.now
+        obs = self.sim._obs
+        span = None
+        if obs is not None:
+            span = obs.span(
+                "recovery", "reliable_put", dst=dst_rank, nbytes=nbytes, seq=seq
+            )
+        attempts = 0
+        verdict = "timeout"
+        try:
+            while attempts < 1 + policy.put_max_retries:
+                if not mgr.reachable(self.coord, dst_coord):
+                    # Fail fast: the failure detector proved a partition.
+                    verdict = "unreachable"
+                    mgr.stats.unreachable_puts += 1
+                    break
+                attempts += 1
+                if attempts > 1:
+                    mgr.stats.replays += 1
+                    if obs is not None:
+                        obs.instant(
+                            "recovery", "replay", dst=dst_rank, seq=seq, attempt=attempts
+                        )
+                yield from self.put(
+                    dst_rank, local_addr, remote_addr, nbytes,
+                    src_kind=src_kind, tag=wire_tag,
+                )
+                deadline = self.sim.timeout(policy.timeout_for(nbytes, attempts))
+                yield self.sim.any_of([acked, deadline])
+                if acked.triggered:
+                    elapsed = self.sim.now - t0
+                    if attempts > 1:
+                        mgr.stats.time_to_recover.add(elapsed)
+                    return PutOutcome(True, "delivered", attempts, elapsed)
+                mgr.stats.put_timeouts += 1
+            return PutOutcome(False, verdict, attempts, self.sim.now - t0)
+        finally:
+            self._rput_waiting.pop((dst_rank, seq), None)
+            if not acked.triggered:
+                # Retire the ACK event so a failed transaction leaves no
+                # pending event behind (a late ACK finds the dict empty).
+                acked.succeed(None)
+            if span is not None:
+                span.end()
+
+    def _on_rput(self, rec: RxCompletion) -> None:
+        """Receiver side of the transaction protocol (duplicate-safe)."""
+        _, src_rank, seq, user_tag = rec.tag
+        delivered = self._rx_delivered.setdefault(src_rank, set())
+        duplicate = seq in delivered
+        if duplicate:
+            mgr = self.recovery
+            if mgr is not None:
+                mgr.stats.duplicates_suppressed += 1
+            obs = self.sim._obs
+            if obs is not None:
+                obs.instant("recovery", "duplicate", src=src_rank, seq=seq)
+        else:
+            delivered.add(seq)
+        # ACK unconditionally: the sender may be replaying because the
+        # previous ACK (not the data) was lost.
+        self.sim.process(
+            self._send_rput_ack(src_rank, seq), name=f"{self.card.name}.rput_ack"
+        )
+        if not duplicate:
+            rec.tag = user_tag
+            self.events.put(rec)
+
+    def _send_rput_ack(self, src_rank: int, seq: int):
+        """Generator process: 32-byte ACK into the sender's firmware mailbox."""
+        if self._peers is None:
+            return  # raw low-level tests; reliable_put needs built clusters
+        target = self._peers[src_rank]
+        yield from self.put(
+            src_rank,
+            self._fw_scratch.addr,
+            target._fw_mailbox.addr,
+            32,
+            src_kind=BufferKind.HOST,
+            tag=("__rput_ack__", self.rank, seq),
+        )
 
     # ------------------------------------------------------------------
     # GET (extension: the read half of the RDMA model)
@@ -271,6 +428,15 @@ class ApenetEndpoint:
 
     def _deliver_remote(self, rec: RxCompletion) -> None:
         tag = rec.tag
+        if isinstance(tag, tuple) and tag and tag[0] == "__rput__":
+            self._on_rput(rec)
+            return
+        if isinstance(tag, tuple) and tag and tag[0] == "__rput_ack__":
+            # ACK for (this sender's) transaction to rank tag[1], seq tag[2].
+            waiter = self._rput_waiting.get((tag[1], tag[2]))
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(rec)
+            return  # protocol traffic: never surfaces on the app event queue
         if isinstance(tag, tuple) and tag and tag[0] == "__get_req__":
             _, get_id, remote_addr, local_addr, nbytes, requester, user_tag = tag
             self.sim.process(

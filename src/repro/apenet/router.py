@@ -61,6 +61,12 @@ class Router:
         self.packets_forwarded = 0
         self.packets_delivered = 0
         self.packets_flushed = 0
+        self.packets_unreachable = 0
+        # Recovery manager (attached by the cluster builder): when present,
+        # forwarding consults its dead-link-aware detour routes instead of
+        # static dimension order, and a missing route becomes a structured
+        # unreachable verdict rather than a crash.
+        self.recovery = None
         from .torus import VC_COUNT
 
         for pd in _PORTS:
@@ -93,6 +99,10 @@ class Router:
     # ------------------------------------------------------------------
 
     def _next_hop(self, pkt: ApePacket) -> Optional[tuple[int, int]]:
+        if self.recovery is not None:
+            # Dead-link-aware detour (falls back to static dimension order
+            # while no link has died); None here means partitioned.
+            return self.recovery.next_hop(self.coord, pkt.dst_coord)
         route = self.shape.route(self.coord, pkt.dst_coord)
         return route[0] if route else None
 
@@ -141,6 +151,15 @@ class Router:
             return
         hop = self._next_hop(pkt)
         if hop is None or hop not in self.links:
+            if self.recovery is not None and hop is None:
+                # Partitioned: every surviving route to the destination is
+                # severed.  Discard with a structured verdict instead of
+                # crashing the run; the transaction layer reports it.
+                self.packets_unreachable += 1
+                self.recovery.record_unreachable(self.name, pkt)
+                if release:
+                    release()
+                return
             raise RuntimeError(
                 f"{self.name}: no link for hop {hop} toward {pkt.dst_coord}"
             )

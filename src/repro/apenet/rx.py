@@ -54,6 +54,7 @@ class RxEngine:
         self.packets_processed = 0
         self.packets_dropped = 0
         self.bytes_received = 0
+        self.replay_fragments_suppressed = 0
         sim.process(self._loop(), name=f"{card.name}.rx")
 
     def admit(self, pkt: ApePacket) -> Event:
@@ -99,14 +100,39 @@ class RxEngine:
             # Hand off to the write DMA; the Nios II moves on.
             self.sim.process(self._writer(pkt), name=f"{self.card.name}.rx.wr")
 
+    def _is_replayed_fragment(self, pkt: ApePacket) -> bool:
+        """True for fragments of an already-delivered reliable PUT.
+
+        The idempotence guarantee of ``reliable_put`` is enforced here, at
+        the DMA boundary: a replay of a message the endpoint has already
+        delivered must not touch the destination (GPU) buffer again — the
+        application may have started computing on it.
+        """
+        endpoint = self.card.endpoint
+        if endpoint is None:
+            return False
+        tag = pkt.message.tag
+        if not (isinstance(tag, tuple) and len(tag) == 4 and tag[0] == "__rput__"):
+            return False
+        return tag[2] in endpoint._rx_delivered.get(tag[1], ())
+
     def _writer(self, pkt: ApePacket):
         obs = self.sim._obs
         span = None
         if obs is not None:
             span = obs.span("apenet", "rx_write", nbytes=pkt.nbytes)
-        yield self.card.fabric.write(
-            self.card, pkt.dst_addr, pkt.nbytes, payload=pkt.data
-        )
+        if self._is_replayed_fragment(pkt):
+            # Suppress the payload DMA but keep the byte/completion
+            # bookkeeping: the duplicate completion is what triggers the
+            # endpoint's re-ACK, and it must not overwrite delivered data.
+            self.replay_fragments_suppressed += 1
+            mgr = self.card.endpoint.recovery
+            if mgr is not None:
+                mgr.stats.replay_fragments_suppressed += 1
+        else:
+            yield self.card.fabric.write(
+                self.card, pkt.dst_addr, pkt.nbytes, payload=pkt.data
+            )
         if span is not None:
             span.end()
         self.bytes_received += pkt.nbytes

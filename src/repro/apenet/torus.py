@@ -83,6 +83,10 @@ class TorusLink:
         latency: float,
         dst_port: TorusPort,
         name: str = "link",
+        src_coord=None,
+        dst_coord=None,
+        dim: Optional[int] = None,
+        direction: Optional[int] = None,
     ):
         self.sim = sim
         self.name = name
@@ -92,11 +96,22 @@ class TorusLink:
         self.channel = Channel(sim, bandwidth, 0.0, name)
         self.latency = latency
         self.dst_port = dst_port
+        # Torus location of this directed channel (sender side); lets a
+        # LinkFailure name the topology hop and the recovery layer mark
+        # the right edge dead.  None for links wired outside a torus.
+        self.src_coord = src_coord
+        self.dst_coord = dst_coord
+        self.dim = dim
+        self.direction = direction
         self.packets_sent = 0
         self.bytes_sent = 0
+        self.packets_lost = 0  # eaten by a dead link / absorbed escalation
         # Fault-injection site: attached by the cluster builder; None keeps
         # the send path identical to the fault-free simulator.
         self.faults: Optional["FaultInjector"] = None
+        # Recovery manager: attached by the cluster builder when systemic
+        # fault awareness is enabled; absorbs retry-budget escalations.
+        self.recovery = None
 
     def send(self, packet: ApePacket, vc: int):
         """Generator: credit-reserve, serialize, deliver.
@@ -145,13 +160,27 @@ class TorusLink:
         inj = self.faults
         plan = inj.plan
         stats = inj.stats
+        mgr = self.recovery
+        if mgr is not None and self.src_coord is not None:
+            if mgr.is_dead(self.src_coord, self.dim, self.direction):
+                # Link already declared dead: eat the packet without even
+                # reserving a credit — nothing will ever land, and the
+                # end-to-end transaction layer replays over the detour.
+                self.packets_lost += 1
+                return
         yield self.dst_port.reserve(vc, packet.size)
         t0 = self.sim.now
         attempts = 0
         while True:
             yield self.channel.transfer(packet.size)
             stats.wire_bytes += packet.size
-            fate = inj.link_packet_fate(self.name, packet.size)
+            if inj.link_killed(self.name, self.sim.now):
+                # Hard kill: the wire eats every frame from the kill time
+                # on.  No random draw — the schedule is the oracle, so the
+                # site's stream is unperturbed for pre-kill traffic.
+                fate = "dead"
+            else:
+                fate = inj.link_packet_fate(self.name, packet.size)
             if fate == "ok":
                 self.packets_sent += 1
                 self.bytes_sent += packet.size
@@ -171,9 +200,32 @@ class TorusLink:
                 stats.packets_dropped += 1
             if attempts > plan.max_retries:
                 stats.record_link_failure(
-                    site=self.name, attempts=attempts, time=self.sim.now, kind=fate
+                    site=self.name,
+                    attempts=attempts,
+                    time=self.sim.now,
+                    kind=fate,
+                    src_coord=self.src_coord,
+                    dst_coord=self.dst_coord,
                 )
-                raise LinkFailure(self.name, attempts, self.sim.now - t0, kind=fate)
+                failure = LinkFailure(
+                    self.name,
+                    attempts,
+                    self.sim.now - t0,
+                    kind=fate,
+                    src_coord=self.src_coord,
+                    dst_coord=self.dst_coord,
+                    dim=self.dim,
+                    direction=self.direction,
+                )
+                if mgr is not None and mgr.link_failed(self, failure):
+                    # Absorbed: the health monitor marked the link dead and
+                    # the routers detour from now on.  Return the credit we
+                    # held (nothing will land) and drop the frame; the
+                    # reliable-PUT layer replays it end to end.
+                    self.dst_port.release(vc, packet.size)
+                    self.packets_lost += 1
+                    return
+                raise failure
             if fate == "corrupt":
                 # Receiver CRC-checks the landed frame and NAKs: one
                 # propagation for the frame, one for the NAK.

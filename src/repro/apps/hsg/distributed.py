@@ -75,6 +75,11 @@ class HsgConfig:
     link_bandwidth: float = Gbps(20)
     mpi_pcie_lanes: int = 8  # Cluster II for the OMPI reference column
     apenet_config: Optional[ApenetConfig] = None
+    # Chaos/robustness knobs (apenet transport only): a FaultPlan/-Injector
+    # and a RecoveryPolicy/-Manager.  None keeps the run bit-identical to
+    # one without these fields.
+    faults: Optional[object] = None
+    recovery: Optional[object] = None
 
     def __post_init__(self):
         if self.L % self.np_:
@@ -97,6 +102,8 @@ class HsgResult:
     energy_before: Optional[float] = None
     energy_after: Optional[float] = None
     spins: Optional[np.ndarray] = None  # reassembled lattice (validate mode)
+    # RecoveryStats of the run, when the cluster had a recovery manager.
+    recovery_stats: Optional[object] = None
 
     def speedup_vs(self, single: "HsgResult") -> float:
         """Strong-scaling speedup relative to a single-node run."""
@@ -255,7 +262,9 @@ def _run_apenet(sim: Simulator, cfg: HsgConfig) -> HsgResult:
         # Single-node L=512 only fits the 6 GB C2070 (§V.D).
         need = 2 * cfg.L**3 * SPIN_BYTES
         specs = [FERMI_2070 if need > FERMI_2050.vram else FERMI_2050]
-    cluster = build_apenet_cluster(sim, shape, acfg, gpu_specs=specs)
+    cluster = build_apenet_cluster(
+        sim, shape, acfg, gpu_specs=specs, faults=cfg.faults, recovery=cfg.recovery
+    )
     states = [
         _RankState(cfg, r, cluster.nodes[r], HsgKernelModel(cluster.nodes[r].gpu.spec))
         for r in range(cfg.np_)
@@ -265,14 +274,22 @@ def _run_apenet(sim: Simulator, cfg: HsgConfig) -> HsgResult:
 
     # Per-rank device buffers: two outgoing face buffers, two halo landing
     # buffers (GPU), plus host bounces for the staging modes.
+    #
+    # With a recovery manager the landing buffers are double-buffered by
+    # parity: a recovery window (timeout + replay) skews the ranks by up to
+    # one exchange, so a neighbour's next-parity halo can arrive before
+    # this rank has unpacked the current one.  The exchange dependency
+    # chain bounds the skew at one, so two slots suffice.  Without
+    # recovery the single-slot layout is kept bit-identical to before.
+    slots = 2 if cfg.recovery is not None else 1
     send_gpu, recv_gpu, send_host, recv_host = {}, {}, {}, {}
     for st in states:
         node = st.node
         fb = max(st.face_bytes, 64)
         send_gpu[st.rank] = {d: node.gpu.alloc(fb) for d in ("down", "up")}
-        recv_gpu[st.rank] = {d: node.gpu.alloc(fb) for d in ("down", "up")}
+        recv_gpu[st.rank] = {d: node.gpu.alloc(fb * slots) for d in ("down", "up")}
         send_host[st.rank] = {d: node.runtime.host_alloc(fb) for d in ("down", "up")}
-        recv_host[st.rank] = {d: node.runtime.host_alloc(fb) for d in ("down", "up")}
+        recv_host[st.rank] = {d: node.runtime.host_alloc(fb * slots) for d in ("down", "up")}
 
     done_events = []
     t_start = {}
@@ -286,9 +303,9 @@ def _run_apenet(sim: Simulator, cfg: HsgConfig) -> HsgResult:
         # Registration: halos land in GPU memory unless staging RX too.
         for d in ("down", "up"):
             if cfg.p2p_mode in ("on", "rx"):
-                yield from ep.register(recv_gpu[st.rank][d].addr, st.face_bytes)
+                yield from ep.register(recv_gpu[st.rank][d].addr, st.face_bytes * slots)
             else:
-                yield from ep.register(recv_host[st.rank][d].addr, st.face_bytes)
+                yield from ep.register(recv_host[st.rank][d].addr, st.face_bytes * slots)
             yield from ep.register(send_gpu[st.rank][d].addr, st.face_bytes)
         yield sim.timeout(us(20))  # registration barrier stand-in
         t_start[st.rank] = sim.now
@@ -325,7 +342,10 @@ def _run_apenet(sim: Simulator, cfg: HsgConfig) -> HsgResult:
     sim.run()
     if not all(p.processed for p in procs):
         raise DeadlockError("HSG ranks deadlocked")
-    return _finalize(cfg, sim, states, t_start, ref, energy_before)
+    recovery_stats = cluster.recovery.stats if cluster.recovery is not None else None
+    return _finalize(
+        cfg, sim, states, t_start, ref, energy_before, recovery_stats=recovery_stats
+    )
 
 
 def _apenet_exchange(
@@ -335,6 +355,14 @@ def _apenet_exchange(
     """One parity's halo exchange on the APEnet transport."""
     node = st.node
     expected = 2 * st.n_chunks  # messages arriving at this rank
+    # With a recovery manager attached, halos travel as reliable PUTs:
+    # delivered exactly once across link kills (replayed over the detour)
+    # or the run fails with a structured verdict instead of corrupting
+    # physics.  Without one, the code path is identical to before.
+    reliable = ep.recovery is not None
+    # Reliable mode double-buffers the landing zones by parity (the slot
+    # the peer reads from alternates in lockstep with the one we target).
+    slot_off = parity * st.face_bytes if reliable else 0
     sends = []
     for d, peer in (("down", down), ("up", up)):
         # In validate mode the outgoing face data is copied into the
@@ -344,18 +372,31 @@ def _apenet_exchange(
             send_gpu[st.rank][d].data[: len(raw)] = raw
         remote_dir = "up" if d == "down" else "down"
         if cfg.p2p_mode in ("on", "rx"):
-            dst_addr = recv_gpu[peer][remote_dir].addr
+            dst_addr = recv_gpu[peer][remote_dir].addr + slot_off
         else:
-            dst_addr = recv_host[peer][remote_dir].addr
+            dst_addr = recv_host[peer][remote_dir].addr + slot_off
         src_gpu = send_gpu[st.rank][d]
         for c in range(st.n_chunks):
             off = c * HALO_CHUNK
             csize = min(HALO_CHUNK, st.face_bytes - off)
             if cfg.p2p_mode == "on":
-                done = yield from ep.put(
-                    peer, src_gpu.addr + off, dst_addr + off, csize,
-                    src_kind=BufferKind.GPU, tag=("halo", sweep, parity, remote_dir, c),
-                )
+                if reliable:
+                    outcome = yield from ep.reliable_put(
+                        peer, src_gpu.addr + off, dst_addr + off, csize,
+                        src_kind=BufferKind.GPU,
+                        tag=("halo", sweep, parity, remote_dir, c),
+                    )
+                    if not outcome.delivered:
+                        raise RuntimeError(
+                            f"HSG halo chunk undeliverable ({outcome.verdict} "
+                            f"after {outcome.attempts} attempts)"
+                        )
+                    done = None
+                else:
+                    done = yield from ep.put(
+                        peer, src_gpu.addr + off, dst_addr + off, csize,
+                        src_kind=BufferKind.GPU, tag=("halo", sweep, parity, remote_dir, c),
+                    )
             else:
                 # TX staging: D2H copy of the chunk, then a host-source put.
                 # The RX-only mode pipelines the copies on a stream (the
@@ -374,11 +415,25 @@ def _apenet_exchange(
                     yield from memcpy_sync(
                         node.runtime, host.addr + off, src_gpu.addr + off, csize
                     )
-                done = yield from ep.put(
-                    peer, host.addr + off, dst_addr + off, csize,
-                    src_kind=BufferKind.HOST, tag=("halo", sweep, parity, remote_dir, c),
-                )
-            sends.append(done)
+                if reliable:
+                    outcome = yield from ep.reliable_put(
+                        peer, host.addr + off, dst_addr + off, csize,
+                        src_kind=BufferKind.HOST,
+                        tag=("halo", sweep, parity, remote_dir, c),
+                    )
+                    if not outcome.delivered:
+                        raise RuntimeError(
+                            f"HSG halo chunk undeliverable ({outcome.verdict} "
+                            f"after {outcome.attempts} attempts)"
+                        )
+                    done = None
+                else:
+                    done = yield from ep.put(
+                        peer, host.addr + off, dst_addr + off, csize,
+                        src_kind=BufferKind.HOST, tag=("halo", sweep, parity, remote_dir, c),
+                    )
+            if done is not None:
+                sends.append(done)
     # Wait for all expected halo chunks.
     for _ in range(expected):
         yield from ep.wait_event()
@@ -386,7 +441,8 @@ def _apenet_exchange(
         # Drain the host bounces into GPU memory.
         for d in ("down", "up"):
             ev = st.s_copy.enqueue(
-                lambda dst=recv_gpu[st.rank][d].addr, src=recv_host[st.rank][d].addr,
+                lambda dst=recv_gpu[st.rank][d].addr + slot_off,
+                src=recv_host[st.rank][d].addr + slot_off,
                 n=st.face_bytes: memcpy_device_work(node.runtime, dst, src, n)
             )
             yield ev
@@ -396,9 +452,9 @@ def _apenet_exchange(
     if cfg.validate:
         for d in ("down", "up"):
             if cfg.p2p_mode == "off":
-                raw = recv_host[st.rank][d].data[: st.face_bytes]
+                raw = recv_host[st.rank][d].data[slot_off : slot_off + st.face_bytes]
             else:
-                raw = recv_gpu[st.rank][d].data[: st.face_bytes]
+                raw = recv_gpu[st.rank][d].data[slot_off : slot_off + st.face_bytes]
             st.unpack_halo(d, parity, raw)
 
 
@@ -496,7 +552,9 @@ def _run_mpi(sim: Simulator, cfg: HsgConfig) -> HsgResult:
 # ---------------------------------------------------------------------------
 
 
-def _finalize(cfg, sim, states, t_start, ref, energy_before) -> HsgResult:
+def _finalize(
+    cfg, sim, states, t_start, ref, energy_before, recovery_stats=None
+) -> HsgResult:
     sites = cfg.L**3
     start = max(t_start.values())
     total = sim.now - start
@@ -517,4 +575,5 @@ def _finalize(cfg, sim, states, t_start, ref, energy_before) -> HsgResult:
         energy_before=energy_before,
         energy_after=energy_after,
         spins=spins,
+        recovery_stats=recovery_stats,
     )

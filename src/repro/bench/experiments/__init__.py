@@ -10,6 +10,7 @@ from . import (  # noqa: F401
     fig67,
     fig8910,
     hsg,
+    recovery,
     selftest,
     table1,
 )

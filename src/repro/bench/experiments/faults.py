@@ -151,6 +151,12 @@ def run_faults(quick: bool = True) -> ExperimentResult:
         + ", ".join(f"{k}={v:.4f}" for k, v in fraction_at_worst.items())
         + f"\nRetry-budget exhaustion at BER=5e-4, budget 2: LinkFailure after "
         f"{failure.attempts} attempts on {failure.site}"
+        + (
+            f" ({failure.src_coord}->{failure.dst_coord} "
+            f"[{'XYZ'[failure.dim]}{'+' if failure.direction > 0 else '-'}])"
+            if failure.located and failure.dim is not None
+            else ""
+        )
         + f"\nTLP+Nios scenario: {site_inj.stats.tlp_replays} TLP replays, "
         f"{site_inj.stats.nios_stalls} Nios stalls -> {site_bw:.0f} MB/s"
     )

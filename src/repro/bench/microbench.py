@@ -86,6 +86,7 @@ def make_cluster(
     use_plx: bool = False,
     cuda_costs=None,
     faults=None,
+    recovery=None,
     **overrides,
 ):
     """Fresh simulator + cluster, with optional config overrides.
@@ -93,6 +94,9 @@ def make_cluster(
     ``faults`` — a :class:`~repro.faults.FaultPlan` or shared
     :class:`~repro.faults.FaultInjector` (chaos benchmarks); None keeps
     the cluster fault-free and bit-identical to the default build.
+    ``recovery`` — a :class:`~repro.recovery.RecoveryPolicy` or prebuilt
+    :class:`~repro.recovery.RecoveryManager`; None keeps the cluster
+    recovery-free and bit-identical to the default build.
     """
     sim = Simulator()
     cfg = (config or DEFAULT_CONFIG).with_(**overrides) if overrides else (config or DEFAULT_CONFIG)
@@ -100,7 +104,7 @@ def make_cluster(
     specs = [gpu_spec] * shape.size if gpu_spec is not None else None
     cluster = build_apenet_cluster(
         sim, shape, cfg, gpu_specs=specs, use_plx=use_plx, cuda_costs=cuda_costs,
-        faults=faults,
+        faults=faults, recovery=recovery,
     )
     return sim, cluster
 

@@ -65,6 +65,17 @@ class FaultInjector:
     # Torus links
     # ------------------------------------------------------------------
 
+    def link_killed(self, site: str, now: float) -> bool:
+        """True once a scheduled hard kill of *site* has taken effect.
+
+        Pure schedule lookup — consumes no random draws, so compiling a
+        kill into a plan perturbs no other site's stream.
+        """
+        for kill_site, kill_at in self.plan.link_kills:
+            if kill_site == site and now >= kill_at:
+                return True
+        return False
+
     def link_packet_fate(self, site: str, wire_bytes: int) -> str:
         """Outcome of one wire traversal: ``"ok" | "drop" | "corrupt"``.
 
@@ -107,6 +118,8 @@ class FaultInjector:
         if replays:
             self.stats.tlp_replays += replays
             self.stats.tlp_replay_bytes += replays * wire_bytes
+            by_site = self.stats.tlp_replays_by_site
+            by_site[site] = by_site.get(site, 0) + replays
         return replays * wire_bytes
 
     # ------------------------------------------------------------------
@@ -120,5 +133,7 @@ class FaultInjector:
         if plan.nios_stall_rate > 0.0 and self.stream(site).random() < plan.nios_stall_rate:
             self.stats.nios_stalls += 1
             self.stats.nios_stall_time += plan.nios_stall_ns
+            by_site = self.stats.nios_stalls_by_site
+            by_site[site] = by_site.get(site, 0) + 1
             duration += plan.nios_stall_ns
         return duration

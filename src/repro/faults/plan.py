@@ -33,15 +33,40 @@ class LinkFailure(RuntimeError):
     the failure is observable even if the exception is swallowed.
     """
 
-    def __init__(self, site: str, attempts: int, elapsed_ns: float, kind: str = ""):
+    def __init__(
+        self,
+        site: str,
+        attempts: int,
+        elapsed_ns: float,
+        kind: str = "",
+        src_coord=None,
+        dst_coord=None,
+        dim=None,
+        direction=None,
+    ):
         self.site = site
         self.attempts = attempts
         self.elapsed_ns = elapsed_ns
         self.kind = kind
+        self.src_coord = src_coord
+        self.dst_coord = dst_coord
+        self.dim = dim
+        self.direction = direction
+        where = ""
+        if src_coord is not None and dst_coord is not None:
+            where = f" at {src_coord}->{dst_coord}"
+            if dim is not None and direction is not None:
+                # "XYZ" indexing kept local to avoid a faults -> net import.
+                where += f" [{'XYZ'[dim]}{'+' if direction > 0 else '-'}]"
         super().__init__(
-            f"{site}: packet abandoned after {attempts} attempts "
-            f"({elapsed_ns:.0f} ns spent, last fault: {kind or 'unknown'})"
+            f"{site}: packet abandoned after {attempts} attempts"
+            f"{where} ({elapsed_ns:.0f} ns spent, last fault: {kind or 'unknown'})"
         )
+
+    @property
+    def located(self) -> bool:
+        """True when the failure carries torus coordinates."""
+        return self.src_coord is not None and self.dst_coord is not None
 
 
 @dataclass(frozen=True)
@@ -80,6 +105,14 @@ class FaultPlan:
     ack_timeout: float = us(1)  # replay timer for lost (un-NAKed) packets
     backoff: float = 2.0  # exponential backoff factor on the replay timer
 
+    # ------------------------------------------------------------------
+    # Hard link kills: ((site_name, time_ns), ...).  From *time_ns* on,
+    # every traversal of the named link is eaten — the retransmission
+    # machinery exhausts its budget deterministically and escalates, which
+    # is what the recovery layer's failure detector consumes.
+    # ------------------------------------------------------------------
+    link_kills: tuple = ()
+
     def __post_init__(self):
         for name in ("link_ber", "link_drop_rate", "tlp_ber", "nios_stall_rate"):
             v = getattr(self, name)
@@ -95,6 +128,17 @@ class FaultPlan:
             raise ValueError("nios_slowdown must be >= 1")
         if self.nios_stall_ns < 0:
             raise ValueError("nios_stall_ns must be non-negative")
+        for kill in self.link_kills:
+            if (
+                not isinstance(kill, tuple)
+                or len(kill) != 2
+                or not isinstance(kill[0], str)
+                or not isinstance(kill[1], (int, float))
+                or not kill[1] >= 0
+            ):
+                raise ValueError(
+                    f"link_kills entries must be (site, time_ns>=0) tuples, got {kill!r}"
+                )
 
     @property
     def active(self) -> bool:
@@ -105,4 +149,5 @@ class FaultPlan:
             or self.tlp_ber > 0
             or self.nios_stall_rate > 0
             or self.nios_slowdown > 1.0
+            or bool(self.link_kills)
         )

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..apenet.rdma import ApenetEndpoint
     from ..apenet.torus import TorusLink
     from ..faults import FaultInjector, FaultPlan
+    from ..recovery import RecoveryManager, RecoveryPolicy
 
 from ..cuda.runtime import CudaRuntime
 from ..gpu.device import GPUDevice
@@ -64,6 +65,10 @@ class ApenetCluster:
     # The shared fault injector, when the cluster was built with one
     # (``faults=...``); its ``.stats`` carries the degradation accounting.
     faults: Optional[FaultInjector] = None
+    # The recovery manager, when the cluster was built with systemic fault
+    # awareness (``recovery=...``); its ``.stats`` carries the end-to-end
+    # recovery accounting (link deaths, replays, degraded-mode fraction).
+    recovery: Optional["RecoveryManager"] = None
 
     def node(self, rank: int) -> ClusterNode:
         """The node with linear rank *rank*."""
@@ -86,6 +91,7 @@ def build_apenet_cluster(
     use_plx: bool = False,
     cuda_costs=None,
     faults: "FaultPlan | FaultInjector | None" = None,
+    recovery: "RecoveryPolicy | RecoveryManager | None" = None,
 ) -> ApenetCluster:
     """Build a torus of APEnet+ nodes.
 
@@ -98,6 +104,12 @@ def build_apenet_cluster(
     attaches fault injection + link-level retransmission to every torus
     link, PCIe fabric and Nios II.  None (the default) builds the
     fault-free cluster, bit-identical to a build without this argument.
+    ``recovery`` — a :class:`~repro.recovery.RecoveryPolicy` (or prebuilt
+    :class:`~repro.recovery.RecoveryManager`): attaches the systemic
+    recovery layer — LinkFailure-consuming health monitor, dead-link
+    detour routing, reliable PUT transactions, P2P->staging degradation.
+    None (the default) keeps every code path bit-identical to a build
+    without this argument.
     """
     from ..apenet.card import ApenetCard
     from ..apenet.config import DEFAULT_CONFIG
@@ -114,6 +126,21 @@ def build_apenet_cluster(
             injector = faults
         else:
             raise TypeError(f"faults must be a FaultPlan or FaultInjector, got {faults!r}")
+
+    manager = None
+    if recovery is not None:
+        from ..recovery import RecoveryManager, RecoveryPolicy
+
+        if isinstance(recovery, RecoveryPolicy):
+            manager = RecoveryManager(sim, shape, policy=recovery)
+        elif isinstance(recovery, RecoveryManager):
+            manager = recovery
+        else:
+            raise TypeError(
+                f"recovery must be a RecoveryPolicy or RecoveryManager, got {recovery!r}"
+            )
+        if injector is not None and manager.fault_stats is None:
+            manager.fault_stats = injector.stats
 
     if config is None:
         config = DEFAULT_CONFIG
@@ -168,6 +195,10 @@ def build_apenet_cluster(
             config.link_latency,
             port,
             name=f"{src.card.name}->{dst.card.name}[{dim},{direction:+d}]",
+            src_coord=coord,
+            dst_coord=dst_coord,
+            dim=dim,
+            direction=direction,
         )
         src.card.router.wire(dim, direction, link)
         cluster.links[(src.rank, dim, direction)] = link
@@ -178,5 +209,13 @@ def build_apenet_cluster(
         for node in cluster.nodes:
             node.card.nios.faults = injector
             node.platform.fabric.faults = injector
+
+    if manager is not None:
+        cluster.recovery = manager
+        for link in cluster.links.values():
+            link.recovery = manager
+        for node in cluster.nodes:
+            node.card.router.recovery = manager
+            node.endpoint.recovery = manager
 
     return cluster

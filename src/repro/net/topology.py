@@ -109,6 +109,63 @@ class TorusShape:
         """Hop count of the dimension-ordered route."""
         return len(self.route(src, dst))
 
+    def neighbors(self, coord: Coord) -> Iterator[tuple[int, int, Coord]]:
+        """Outgoing links of *coord* as (dim, direction, neighbor).
+
+        Deterministic order (dims ascending, +1 before -1) — the detour
+        BFS below ties its tie-breaks to this order, so routes are stable
+        run to run.  Extent-1 dimensions have no links.
+        """
+        for dim, extent in enumerate(self.dims):
+            if extent == 1:
+                continue
+            for direction in (1, -1):
+                yield dim, direction, self.neighbor(coord, dim, direction)
+
+    def route_avoiding(
+        self, src: Coord, dst: Coord, dead: "frozenset | set"
+    ) -> list[tuple[int, int]] | None:
+        """Shortest detour route src -> dst avoiding dead directed links.
+
+        *dead* is a collection of ``(src_coord, dim, direction)`` triples
+        (the sender-side identity of a directed link; on an extent-2 ring
+        the +1 and -1 channels are distinct and can die independently).
+        Returns a ``[(dim, direction), ...]`` hop list, or None when every
+        surviving path is severed (the explicit "unreachable" verdict).
+
+        Deterministic breadth-first search: nodes expand in FIFO order and
+        neighbors in :meth:`neighbors` order, so among equal-length detours
+        the same one is always chosen.  Because every router derives its
+        hop from the same dead-link set, per-hop forwarding along these
+        routes decreases the remaining BFS distance by exactly one — the
+        detour scheme is loop-free even though it abandons dimension order.
+        """
+        src = self.wrap(src)
+        dst = self.wrap(dst)
+        if src == dst:
+            return []
+        parent: dict[Coord, tuple[Coord, int, int] | None] = {src: None}
+        frontier = [src]
+        while frontier:
+            next_frontier: list[Coord] = []
+            for cur in frontier:
+                for dim, direction, nxt in self.neighbors(cur):
+                    if (cur, dim, direction) in dead or nxt in parent:
+                        continue
+                    parent[nxt] = (cur, dim, direction)
+                    if nxt == dst:
+                        hops: list[tuple[int, int]] = []
+                        node = dst
+                        while node != src:
+                            prev, d, s = parent[node]
+                            hops.append((d, s))
+                            node = prev
+                        hops.reverse()
+                        return hops
+                    next_frontier.append(nxt)
+            frontier = next_frontier
+        return None
+
     def links(self) -> Iterator[tuple[Coord, int, int, Coord]]:
         """Every directed link as (src, dim, direction, dst).
 

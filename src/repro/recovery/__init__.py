@@ -1,0 +1,35 @@
+"""End-to-end recovery: fault-aware re-routing, reliable RDMA, degradation.
+
+PR 2's fault layer (:mod:`repro.faults`) recovers *within* a link: ACK/NAK
+retransmission hides transient corruption and loss, and escalates a
+structured :class:`~repro.faults.LinkFailure` when a retry budget is
+exhausted.  This package is the systemic layer above it, modelled on the
+fault-awareness work of the later APEnet+ papers (arXiv:1311.1741,
+arXiv:2201.01088):
+
+* :class:`RecoveryManager` — per-cluster health monitor consuming
+  ``LinkFailure`` escalations, marking torus links dead and switching the
+  routers from static dimension order to a deterministic BFS detour
+  (explicit unreachable verdict on a true partition), plus the sticky
+  P2P -> host-staging degradation verdict for nodes whose GPU-side fault
+  sites (Nios stalls, TLP replay storms) cross a budget;
+* :class:`RecoveryPolicy` — frozen knobs: end-to-end PUT timeout scaling,
+  backoff, replay budget, degradation thresholds;
+* :class:`PutOutcome` — the structured verdict
+  (``delivered | timeout | unreachable``) returned by
+  :meth:`~repro.apenet.rdma.ApenetEndpoint.reliable_put`.
+
+Wire it in with ``build_apenet_cluster(..., recovery=RecoveryPolicy())``;
+accounting lands in :class:`~repro.sim.stats.RecoveryStats` and recovery
+events (link deaths, replays, degradations) are emitted as ``repro.obs``
+spans/instants.  Without a manager attached every code path is
+bit-identical to the recovery-free simulator.
+
+``python -m repro.bench recovery`` kills a link mid-run and measures
+goodput through the detect -> reroute -> replay window.
+"""
+
+from .manager import RecoveryManager
+from .policy import PutOutcome, RecoveryPolicy
+
+__all__ = ["RecoveryManager", "RecoveryPolicy", "PutOutcome"]

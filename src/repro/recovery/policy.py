@@ -1,0 +1,74 @@
+"""Recovery policy knobs and the structured PUT outcome type.
+
+A :class:`RecoveryPolicy` is the end-to-end analogue of the link-level
+knobs on :class:`~repro.faults.FaultPlan`: where the plan's retry budget
+governs a single wire hop, the policy governs whole RDMA transactions
+(timeout scaling with message size, exponential backoff, bounded
+replays) and the P2P -> host-staging degradation thresholds.  It is
+frozen and hashable so it can ride cache keys and cross process
+boundaries, like the fault plan itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import us
+
+__all__ = ["RecoveryPolicy", "PutOutcome"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Deterministic end-to-end recovery knobs."""
+
+    # ------------------------------------------------------------------
+    # RDMA transaction layer: reliable_put() arms a deadline per attempt,
+    # sized for the message plus headroom, backed off exponentially, and
+    # gives up (structured, not silent) after a bounded replay budget.
+    # ------------------------------------------------------------------
+    put_timeout: float = us(60)  # fixed headroom per attempt
+    put_timeout_per_byte: float = 4.0  # ns of deadline per payload byte
+    put_backoff: float = 2.0
+    put_max_retries: int = 5
+
+    # ------------------------------------------------------------------
+    # Degradation thresholds: once a node's GPU-side fault sites cross
+    # these budgets, its endpoint stops posting P2P descriptors and
+    # stages through host memory instead (sticky per node).
+    # ------------------------------------------------------------------
+    degrade_nios_stalls: int = 40
+    degrade_tlp_replays: int = 32
+
+    def __post_init__(self):
+        if self.put_timeout <= 0:
+            raise ValueError("put_timeout must be positive")
+        if self.put_timeout_per_byte < 0:
+            raise ValueError("put_timeout_per_byte must be non-negative")
+        if self.put_backoff < 1.0:
+            raise ValueError("put_backoff must be >= 1")
+        if self.put_max_retries < 0:
+            raise ValueError("put_max_retries must be >= 0")
+        if self.degrade_nios_stalls < 1 or self.degrade_tlp_replays < 1:
+            raise ValueError("degradation thresholds must be >= 1")
+
+    def timeout_for(self, nbytes: int, attempt: int) -> float:
+        """Deadline (ns) for attempt number *attempt* (1-based) of a PUT."""
+        base = self.put_timeout + nbytes * self.put_timeout_per_byte
+        return base * self.put_backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class PutOutcome:
+    """What happened to one reliable PUT, as reported to the caller.
+
+    ``verdict`` is one of ``"delivered"`` (possibly after replays),
+    ``"timeout"`` (replay budget exhausted without an ACK) or
+    ``"unreachable"`` (the failure detector proved no surviving route to
+    the destination — a true partition).
+    """
+
+    delivered: bool
+    verdict: str
+    attempts: int
+    elapsed_ns: float

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
-__all__ = ["OnlineStats", "percentile", "TimeSeries", "FaultStats"]
+__all__ = ["OnlineStats", "percentile", "TimeSeries", "FaultStats", "RecoveryStats"]
 
 
 class OnlineStats:
@@ -134,6 +134,11 @@ class FaultStats:
         # Nios II.
         self.nios_stalls = 0
         self.nios_stall_time = 0.0
+        # Per-site breakdowns, keyed by fault-site name.  The recovery
+        # layer's degradation thresholds are per *node*, so aggregate
+        # counters alone are not enough.
+        self.tlp_replays_by_site: dict[str, int] = {}
+        self.nios_stalls_by_site: dict[str, int] = {}
         # Escalations: one record per exhausted retry budget.
         self.link_failures: list[dict] = []
 
@@ -153,4 +158,57 @@ class FaultStats:
             f"retx={self.retransmits}, drops={self.packets_dropped}, "
             f"crc={self.crc_errors}, tlp_replays={self.tlp_replays}, "
             f"stalls={self.nios_stalls}, failures={len(self.link_failures)})"
+        )
+
+
+class RecoveryStats:
+    """End-to-end recovery accounting (:mod:`repro.recovery`).
+
+    Tracks the systemic-fault-awareness layer above link retransmission:
+    dead-link detections, detour routing, end-to-end RDMA replays with
+    duplicate suppression, and P2P -> host-staging degradation.  Like
+    :class:`FaultStats` it lives in the sim layer so consumers (bench
+    experiments, traces) need no dependency on ``repro.recovery``.
+    """
+
+    def __init__(self):
+        # Failure detection / re-routing.
+        self.link_deaths: list[dict] = []
+        self.time_to_detect = OnlineStats()  # ns, kill -> marked dead
+        self.packets_rerouted = 0
+        self.packets_unreachable = 0
+        # End-to-end RDMA transaction layer.
+        self.replays = 0
+        self.put_timeouts = 0
+        self.duplicates_suppressed = 0
+        self.replay_fragments_suppressed = 0
+        self.unreachable_puts = 0
+        self.time_to_recover = OnlineStats()  # ns, first post -> delivery, replayed PUTs only
+        # P2P -> host-staging degradation.
+        self.gpu_puts = 0
+        self.degraded_puts = 0
+        self.degradations: list[dict] = []
+
+    def record_link_death(self, **info) -> None:
+        """Append one dead-link record (site, coords, detect time, ...)."""
+        self.link_deaths.append(dict(info))
+        if "elapsed_ns" in info:
+            self.time_to_detect.add(info["elapsed_ns"])
+
+    def record_degradation(self, **info) -> None:
+        """Append one P2P -> host-staging mode-switch record."""
+        self.degradations.append(dict(info))
+
+    def degraded_fraction(self) -> float:
+        """Fraction of GPU-sourced PUTs that went via host staging."""
+        if self.gpu_puts == 0:
+            return 0.0
+        return self.degraded_puts / self.gpu_puts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecoveryStats(deaths={len(self.link_deaths)}, "
+            f"rerouted={self.packets_rerouted}, replays={self.replays}, "
+            f"dups={self.duplicates_suppressed}, "
+            f"degraded={self.degraded_fraction():.3f})"
         )

@@ -1,0 +1,51 @@
+"""RETRY001 fixture: constant-delay retry loops vs backed-off ones.
+
+Never imported — read as text by test_lint_engine.py.
+"""
+
+from repro.units import us
+
+DELAY = us(3)
+
+
+def constant_retry_wait(sim, send):
+    attempts = 0
+    while attempts < 5:
+        if send():
+            return True
+        yield sim.timeout(DELAY)  # expect: RETRY001
+        attempts += 1
+    return False
+
+
+def constant_sleep_for_retry(clock, fetch):
+    for attempt in range(4):
+        if fetch():
+            return True
+        clock.sleep(us(2))  # expect: RETRY001
+    return False
+
+
+def backed_off_retry(sim, send, base):
+    attempts = 0
+    while attempts < 5:
+        if send():
+            return True
+        yield sim.timeout(base * 2 ** attempts)
+        attempts += 1
+    return False
+
+
+def computed_deadline_retry(sim, policy, nbytes, send):
+    attempts = 0
+    while attempts < 3:
+        if send():
+            return True
+        yield sim.timeout(policy.timeout_for(nbytes, attempts))
+        attempts += 1
+    return False
+
+
+def unrelated_loop(sim, items):
+    for item in items:
+        yield sim.timeout(DELAY)

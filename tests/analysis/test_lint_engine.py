@@ -36,7 +36,9 @@ def expected_findings(path: Path) -> list[tuple[int, str]]:
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("name", ["det001.py", "unit001.py", "sim001.py"])
+@pytest.mark.parametrize(
+    "name", ["det001.py", "unit001.py", "sim001.py", "retry001.py"]
+)
 def test_fixture_reports_exactly_the_tagged_lines(name):
     path = FIXTURES / name
     expected = expected_findings(path)
@@ -47,7 +49,7 @@ def test_fixture_reports_exactly_the_tagged_lines(name):
 
 def test_fixture_rules_match_their_families():
     for name, rule in [("det001.py", "DET001"), ("unit001.py", "UNIT001"),
-                       ("sim001.py", "SIM001")]:
+                       ("sim001.py", "SIM001"), ("retry001.py", "RETRY001")]:
         findings = lint_source((FIXTURES / name).read_text(), name)
         assert findings and all(f.rule == rule for f in findings)
 
