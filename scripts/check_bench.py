@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Gate a kernel-benchmark artifact against the committed baseline.
+
+Consumes the ``BENCH_kernel.json`` produced by ``python -m repro.bench
+selftest --bench-json ...`` and the committed reference numbers in
+``benchmarks/baselines/kernel.json``, then enforces the perf-history
+contract:
+
+1. every baseline backend is present in the artifact, with identical
+   event counts across backends (the bit-identity contract leaves no
+   room for a backend to "win" by simulating different work);
+2. no backend's events/sec regresses more than ``max_regression_pct``
+   below its committed reference throughput;
+3. the ``wheel`` backend's aggregate events/sec stays at or above the
+   ``heap`` reference backend's (``min_speedup_vs_heap``, default 1.0) —
+   the calendar queue must pay for its complexity;
+4. the artifact's calibration hash matches the baseline's: perf numbers
+   measured under a different cost-model calibration are not comparable,
+   so a calibration change must ship a refreshed baseline in the same
+   commit.
+
+Exit code 0 when every check passes, 1 otherwise (the CI
+``bench-history`` job gates on this).  Run from the repository root:
+
+    PYTHONPATH=src python -m repro.bench selftest --bench-json BENCH_kernel.json
+    python scripts/check_bench.py BENCH_kernel.json
+
+Refreshing the baseline after an intentional change: copy the relevant
+numbers (rounded *down* generously — the committed floor must hold on
+the slowest CI runner, not your workstation) into
+``benchmarks/baselines/kernel.json`` and commit both files together.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "kernel.json"
+
+
+def load(path: Path) -> dict:
+    """Parse *path* as JSON, exiting with a readable error on failure."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_bench: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def check(artifact: dict, baseline: dict) -> list[str]:
+    """Return the list of gate failures (empty when the artifact passes)."""
+    failures: list[str] = []
+    backends = artifact.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        return [f"artifact has no per-backend numbers: keys={sorted(artifact)}"]
+
+    base_backends = baseline.get("backends", {})
+    missing = sorted(set(base_backends) - set(backends))
+    if missing:
+        failures.append(f"artifact is missing baseline backend(s): {missing}")
+
+    events = {
+        name: b.get("events") for name, b in backends.items() if name in base_backends
+    }
+    if len(set(events.values())) > 1:
+        failures.append(
+            "backends disagree on simulated event counts (bit-identity "
+            f"violation): {events}"
+        )
+
+    max_reg = float(baseline.get("max_regression_pct", 20.0))
+    for name, ref in base_backends.items():
+        b = backends.get(name)
+        if b is None:
+            continue
+        ref_eps = float(ref["events_per_s"])
+        floor = ref_eps * (1.0 - max_reg / 100.0)
+        eps = float(b.get("events_per_s", 0.0))
+        if eps < floor:
+            failures.append(
+                f"{name}: {eps:,.0f} events/s regresses >{max_reg:.0f}% below "
+                f"the committed reference {ref_eps:,.0f} (floor {floor:,.0f})"
+            )
+
+    min_speedup = float(baseline.get("min_speedup_vs_heap", 1.0))
+    wheel = backends.get("wheel")
+    if wheel is not None:
+        speedup = float(wheel.get("speedup_vs_heap", 0.0))
+        if speedup < min_speedup:
+            failures.append(
+                f"wheel: {speedup:.3f}x vs heap falls below the required "
+                f"{min_speedup:.2f}x — the calendar queue must not lose to "
+                "the reference backend"
+            )
+
+    base_cal = baseline.get("calibration_hash")
+    cal = artifact.get("calibration_hash")
+    if base_cal and cal != base_cal:
+        failures.append(
+            f"calibration hash {cal!r} != baseline {base_cal!r}: the cost "
+            "model changed — refresh benchmarks/baselines/kernel.json in "
+            "the same commit"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="scripts/check_bench.py",
+        description="gate BENCH_kernel.json against the committed baseline",
+    )
+    parser.add_argument("artifact", help="path to BENCH_kernel.json")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    args = parser.parse_args(argv)
+
+    artifact = load(Path(args.artifact))
+    baseline = load(Path(args.baseline))
+    failures = check(artifact, baseline)
+
+    backends = artifact.get("backends", {})
+    for name in sorted(backends):
+        b = backends[name]
+        print(
+            f"  {name:6s} {float(b.get('events_per_s', 0.0)):>12,.0f} events/s  "
+            f"{float(b.get('speedup_vs_heap', 0.0)):.3f}x vs heap  "
+            f"({b.get('events', '?')} events)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    verdict = "FAILED" if failures else "ok"
+    print(
+        f"check_bench: {len(failures)} failure(s) "
+        f"[{artifact.get('run_id', '?')}, calibration "
+        f"{artifact.get('calibration_hash', '?')}] -> {verdict}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

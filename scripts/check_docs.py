@@ -49,7 +49,15 @@ SMOKE_RUN = {
 #: Flags that consume the following token, per CLI prefix.  Keeps the id /
 #: path scan from misreading flag values as experiment ids.
 VALUE_FLAGS = {
-    "python -m repro.bench": {"-j", "--jobs", "--json", "--trace", "--cache-dir"},
+    "python -m repro.bench": {
+        "-j",
+        "--jobs",
+        "--json",
+        "--trace",
+        "--cache-dir",
+        "--backend",
+        "--bench-json",
+    },
     "python -m repro.obs": {"-o", "--out", "-j", "--jobs"},
     "pytest": {"-m", "-k", "-n", "--cov", "--cov-fail-under"},
 }

@@ -9,6 +9,11 @@ Options:
 * ``--jobs N`` — fan out over N worker processes (default 1);
 * ``--no-cache`` — ignore and do not update the on-disk result cache;
 * ``--json PATH`` — also write the JSON results artifact to PATH;
+* ``--backend NAME`` — run every experiment on the given kernel backend
+  (sets ``REPRO_BACKEND``; backends are bit-identical by contract);
+* ``--bench-json PATH`` — write the kernel-benchmark artifact
+  (``BENCH_kernel.json``) from the ``selftest`` experiment's data
+  (implies ``--no-cache`` so the numbers are freshly measured);
 * ``--trace PATH`` — record every experiment under :mod:`repro.obs` and
   write one merged Chrome ``trace_event`` file (implies ``--no-cache``);
 * ``--full`` / ``--quick`` — paper's exact parameters vs trimmed sweeps.
@@ -17,10 +22,11 @@ Options:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .harness import all_ids, get
-from .runner import default_cache_dir, run_experiments, write_json
+from .runner import default_cache_dir, run_experiments, write_json, write_kernel_bench
 from .tables import fmt_ratio, render_table
 
 
@@ -60,6 +66,16 @@ def main(argv=None) -> int:
         help="write the JSON results artifact to PATH",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend for every experiment (heap|wheel; sets "
+        "REPRO_BACKEND, default: inherit environment or heap)",
+    )
+    parser.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="write the kernel benchmark artifact (BENCH_kernel.json) from "
+        "the selftest experiment's data (implies --no-cache)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON of the sweep to PATH "
         "(open in Perfetto; implies --no-cache)",
@@ -79,7 +95,17 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
+    if args.backend is not None:
+        from ..sim.sched import BACKEND_ENV, resolve_backend
+
+        try:
+            os.environ[BACKEND_ENV] = resolve_backend(args.backend)
+        except ValueError as exc:
+            parser.error(str(exc))
+
     ids = args.ids or all_ids()
+    if args.bench_json is not None and "selftest" not in ids:
+        parser.error("--bench-json needs the 'selftest' experiment in the sweep")
     try:
         for exp_id in ids:
             get(exp_id)
@@ -97,7 +123,7 @@ def main(argv=None) -> int:
         ids,
         quick=quick,
         jobs=args.jobs,
-        use_cache=not args.no_cache,
+        use_cache=not (args.no_cache or args.bench_json is not None),
         cache_dir=args.cache_dir,
         progress=progress,
         trace=args.trace is not None,
@@ -130,6 +156,14 @@ def main(argv=None) -> int:
     if args.json:
         path = write_json(records, args.json, quick=quick, jobs=args.jobs)
         print(f"\nwrote {path}", file=sys.stderr)
+
+    if args.bench_json:
+        try:
+            path = write_kernel_bench(records, args.bench_json, quick=quick)
+        except ValueError as exc:
+            print(f"bench-json: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {path}", file=sys.stderr)
 
     if args.trace:
         from ..obs import write_chrome_trace

@@ -21,6 +21,7 @@ assert that parallel and serial sweeps agree bit-for-bit.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import multiprocessing
@@ -35,15 +36,18 @@ from typing import Callable, Optional, Sequence
 from .. import __version__
 from ..apenet.config import DEFAULT_CONFIG
 from ..sim import kernel_event_count
+from ..sim.sched import resolve_backend
 from . import harness
 
 __all__ = [
     "RunRecord",
     "ResultCache",
     "cache_key",
+    "calibration_hash",
     "default_cache_dir",
     "run_experiments",
     "write_json",
+    "write_kernel_bench",
 ]
 
 #: Default location of the cache, relative to the working directory.
@@ -70,6 +74,7 @@ class RunRecord:
     error: Optional[str] = None
     error_class: Optional[str] = None  # exception class name for "error" records
     trace: Optional[dict] = None  # obs session payload when traced
+    data: Optional[dict] = None  # experiment's free-form data block (may be None)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (tuples normalised to lists).
@@ -92,18 +97,32 @@ def cache_key(experiment_id: str, quick: bool) -> str:
     """Content hash identifying one experiment execution.
 
     Covers the experiment id, the quick/full flag, every calibration
-    constant of :data:`~repro.apenet.config.DEFAULT_CONFIG`, and the
-    package version — any change to model constants or code version
-    invalidates all cached results.
+    constant of :data:`~repro.apenet.config.DEFAULT_CONFIG`, the active
+    kernel backend (``REPRO_BACKEND``), and the package version — any
+    change to model constants, backend selection or code version
+    invalidates all cached results.  (Backends are bit-identical by
+    contract, but the payload's telemetry — wall time, kernel bench data —
+    is backend-specific, so sharing entries would serve stale numbers.)
     """
     ident = {
         "experiment": experiment_id,
         "quick": bool(quick),
         "calibration": asdict(DEFAULT_CONFIG),
+        "backend": resolve_backend(None),
         "version": __version__,
     }
     blob = json.dumps(ident, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def calibration_hash() -> str:
+    """Short content hash of every calibration constant.
+
+    Stamped into bench artifacts (``BENCH_kernel.json``) so a perf number
+    can never be compared across different model calibrations unnoticed.
+    """
+    blob = json.dumps(asdict(DEFAULT_CONFIG), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
 
 def default_cache_dir() -> Path:
@@ -158,6 +177,28 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
+def _jsonable(obj):
+    """Recursively coerce an experiment ``data`` block to JSON-safe types.
+
+    Payloads cross a JSON boundary twice (the result cache and the
+    ``--json`` artifact), but experiments are free to stash richer
+    objects — dataclasses (e.g. figure ``Series``), tuples, sets — in
+    ``ExperimentResult.data``.  Dataclasses become dicts, tuples/sets
+    become lists, dict keys become strings, and anything else falls back
+    to ``repr`` rather than failing the whole sweep.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [_jsonable(v) for v in seq]
+    return repr(obj)
+
+
 def _execute(experiment_id: str, quick: bool, trace: bool = False) -> dict:
     """Run one experiment in this process; always returns a payload dict.
 
@@ -205,6 +246,7 @@ def _execute(experiment_id: str, quick: bool, trace: bool = False) -> dict:
         "comparisons": [list(row) for row in result.comparisons],
         "wall_s": time.perf_counter() - t0,
         "events": kernel_event_count() - ev0,
+        "data": _jsonable(getattr(result, "data", None)),
     }
     if session is not None:
         payload["trace"] = session.payload()
@@ -246,6 +288,7 @@ def _record_from_payload(payload: dict, cached: bool) -> RunRecord:
         comparisons=[tuple(row) for row in payload["comparisons"]],
         rendered=payload["rendered"],
         trace=payload.get("trace"),
+        data=payload.get("data"),
     )
 
 
@@ -348,6 +391,55 @@ def write_json(
         "n_errors": sum(1 for r in records if r.status == "error"),
         "records": [r.to_dict() for r in records],
     }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    return path
+
+
+def write_kernel_bench(
+    records: Sequence[RunRecord],
+    path: Path | str,
+    quick: bool = True,
+    run_id: Optional[str] = None,
+) -> Path:
+    """Write the machine-readable kernel-benchmark artifact to *path*.
+
+    Extracts the per-backend numbers that the ``selftest`` experiment
+    leaves in ``data["kernel_bench"]`` and stamps them with the package
+    version and calibration hash — the ``BENCH_kernel.json`` consumed by
+    the CI ``bench-history`` job and ``scripts/check_bench.py``.  Raises
+    :class:`ValueError` when no record carries kernel-bench data (e.g.
+    ``selftest`` was not part of the sweep or errored).
+    """
+    bench = None
+    for record in records:
+        if record.status != "error" and record.data and "kernel_bench" in record.data:
+            bench = record.data["kernel_bench"]
+            break
+    if bench is None:
+        raise ValueError(
+            "no kernel-bench data in this sweep: run the 'selftest' "
+            "experiment (uncached) to produce BENCH_kernel.json"
+        )
+    backends = {
+        name: {
+            "events": b["events"],
+            "wall_s": b["wall_s"],
+            "events_per_s": b["events_per_s"],
+            "speedup_vs_heap": b["speedup_vs_heap"],
+            "scenarios": b["scenarios"],
+        }
+        for name, b in bench.items()
+    }
+    doc = {
+        "run_id": run_id or default_run_id(),
+        "repro_version": __version__,
+        "calibration_hash": calibration_hash(),
+        "mode": "quick" if quick else "full",
+        "backends": backends,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2)
     return path

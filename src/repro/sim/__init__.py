@@ -10,6 +10,11 @@ Public surface:
   (:mod:`repro.sim.channel`);
 * :class:`BandwidthMeter`, :class:`TraceLog` — instrumentation
   (:mod:`repro.sim.trace`).
+
+The event-queue backend is selectable per simulator
+(``Simulator(backend="heap"|"wheel")``) or process-wide via the
+``REPRO_BACKEND`` environment variable; see :mod:`repro.sim.sched`.
+All backends are bit-identical by contract.
 """
 
 from .channel import Channel, RateLimiter
@@ -18,15 +23,18 @@ from .core import (
     AnyOf,
     DeadlockError,
     Event,
+    EventPool,
     Process,
     SimulationError,
     Simulator,
     Timeout,
+    TimerHandle,
     kernel_event_count,
 )
 from .resources import ByteFifo, PacketFifo, Resource, Store
+from .sched import BACKENDS, CalendarScheduler, HeapScheduler, resolve_backend
 from .stats import FaultStats, OnlineStats, TimeSeries, percentile
-from .trace import BandwidthMeter, TraceLog, TraceRecord
+from .trace import BandwidthMeter, TraceLog, TraceRecord, kernel_snapshot
 
 __all__ = [
     "Simulator",
@@ -35,9 +43,16 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "TimerHandle",
+    "EventPool",
     "SimulationError",
     "DeadlockError",
+    "BACKENDS",
+    "HeapScheduler",
+    "CalendarScheduler",
+    "resolve_backend",
     "kernel_event_count",
+    "kernel_snapshot",
     "Resource",
     "Store",
     "ByteFifo",

@@ -217,6 +217,21 @@ class ByteFifo:
                 f"put({nbytes}) exceeds FIFO capacity {self.capacity}; chunk it"
             )
         ev = Event(self.sim)
+        if not self._putters and nbytes <= self.capacity - self._level:
+            # Uncontended fast path.  Bit-identical to queuing + _drain():
+            # with no producer queued ahead, _drain's first step would
+            # admit exactly this request (the head-putter admission is the
+            # loop's first action and, by the drain-on-every-transition
+            # invariant, a queued head putter can never currently fit), so
+            # inlining the admission preserves the succeed order exactly.
+            level_before = self._level
+            self._level += nbytes
+            self.total_in += nbytes
+            if self._level > self._peak:
+                self._peak = self._level
+            ev.succeed(nbytes)
+            self._settle(level_before)
+            return ev
         self._putters.append((ev, nbytes))
         self._drain()
         return ev
@@ -227,6 +242,16 @@ class ByteFifo:
         if nbytes <= 0:
             raise SimulationError("get() needs a positive byte count")
         ev = Event(self.sim)
+        if not self._getters and self._level >= nbytes:
+            # Uncontended fast path (see put(); the symmetric argument —
+            # a queued head putter cannot fit right now, so _drain would
+            # serve this consumer first).
+            level_before = self._level
+            self._level -= nbytes
+            self.total_out += nbytes
+            ev.succeed(nbytes)
+            self._settle(level_before)
+            return ev
         self._getters.append((ev, nbytes, False))
         self._drain()
         return ev
@@ -237,12 +262,23 @@ class ByteFifo:
         if nbytes <= 0:
             raise SimulationError("get_upto() needs a positive byte count")
         ev = Event(self.sim)
+        if not self._getters and self._level > 0:
+            # Uncontended fast path (see get()).
+            take = min(nbytes, self._level)
+            level_before = self._level
+            self._level -= take
+            self.total_out += take
+            ev.succeed(take)
+            self._settle(level_before)
+            return ev
         self._getters.append((ev, nbytes, True))
         self._drain()
         return ev
 
     def _drain(self) -> None:
-        level_before = self._level
+        self._settle(self._level)
+
+    def _settle(self, level_before: int) -> None:
         progressed = True
         while progressed:
             progressed = False
@@ -335,6 +371,19 @@ class PacketFifo:
         if int(packet.size) < 0:
             raise SimulationError("packet size must be non-negative")
         ev = Event(self.sim)
+        if not self._putters and self._fits(packet):
+            # Uncontended fast path — same argument as ByteFifo.put: a
+            # queued head putter can never currently fit, so _drain would
+            # admit this packet first anyway.  Succeed order is identical.
+            level_before = self._level
+            self._level += int(packet.size)
+            self._items.append(packet)
+            self.total_packets_in += 1
+            if self._level > self._peak:
+                self._peak = self._level
+            ev.succeed(packet)
+            self._settle(level_before)
+            return ev
         self._putters.append((ev, packet))
         self._drain()
         return ev
@@ -342,12 +391,23 @@ class PacketFifo:
     def get(self) -> Event:
         """Pop the next packet; the event value is the packet."""
         ev = Event(self.sim)
+        if not self._getters and self._items:
+            # Uncontended fast path (see put()).
+            level_before = self._level
+            pkt = self._items.popleft()
+            self._level -= int(pkt.size)
+            self.total_packets_out += 1
+            ev.succeed(pkt)
+            self._settle(level_before)
+            return ev
         self._getters.append(ev)
         self._drain()
         return ev
 
     def _drain(self) -> None:
-        level_before = self._level
+        self._settle(self._level)
+
+    def _settle(self, level_before: int) -> None:
         progressed = True
         while progressed:
             progressed = False

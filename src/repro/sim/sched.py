@@ -1,0 +1,405 @@
+"""Pluggable event-queue backends for the DES kernel.
+
+The :class:`~repro.sim.core.Simulator` stores pending events as
+``(time, seq, event)`` tuples whose lexicographic order *is* the
+simulation's total event order: primary key is the timestamp, ties are
+broken by schedule order (``seq``), and ``seq`` is unique so the event
+object itself is never compared.  Any queue that pops entries in exactly
+this order is a drop-in kernel backend, and every backend here is held to
+that bar — the golden-number suites run bit-identically on all of them.
+
+Two backends:
+
+* :class:`HeapScheduler` — the binary heap (``heapq``) the kernel has used
+  since the seed.  O(log n) per operation in C; the golden reference.
+* :class:`CalendarScheduler` — a Brown-style calendar queue (event wheel):
+  an array of buckets of width ``w`` ns, entry ``(t, ...)`` lives in ring
+  slot ``floor(t/w) mod nbuckets``.  Inserts are O(1) appends for future
+  buckets; the bucket at the clock is sorted *once* when it becomes
+  current (Timsort, in C) and then consumed by index, so the per-event
+  dequeue cost is an index bump instead of an O(log n) sift.  Same-cycle
+  inserts keep exact order via ``bisect.insort`` into the current run.
+  This is the right shape for the retransmission/recovery layers' traffic:
+  dense, short-horizon timer bursts that land a few buckets ahead.
+
+Exactness notes for the calendar queue (why bit-identity holds):
+
+* bucket widths are constrained to **powers of two**, so ``t / w``,
+  ``t * (1/w)`` and ``(b + 1) * w`` are exact float scalings — an entry's
+  bucket is exactly ``floor(t / w)`` with no rounding ambiguity, and
+  same-timestamp events can never straddle a bucket boundary;
+* float division by a power of two is monotonic, so a smaller timestamp
+  can never map to a later bucket: scanning buckets in ring order and
+  draining each current bucket in sorted order yields the global
+  ``(t, seq)`` minimum every time;
+* resizing (both count and width re-tuning) rebuilds deterministically
+  from the pending entries alone — no wall-clock, no sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, Iterable
+
+__all__ = ["BACKENDS", "resolve_backend", "HeapScheduler", "CalendarScheduler"]
+
+_INF = float("inf")
+
+#: The recognised kernel backends, in documentation order.
+BACKENDS = ("heap", "wheel")
+
+#: Environment variable consulted when ``Simulator(backend=None)``.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: Any = None) -> str:
+    """Normalise a backend selection to one of :data:`BACKENDS`.
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment variable and
+    then to ``"heap"``.  Raises :class:`ValueError` for unknown names (the
+    kernel re-raises it as a :class:`~repro.sim.core.SimulationError`).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "") or "heap"
+    name = str(backend).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {backend!r}; known backends: "
+            + ", ".join(BACKENDS)
+        )
+    return name
+
+
+class HeapScheduler:
+    """Binary-heap event queue — the golden reference backend.
+
+    Thin wrapper over the same ``list`` + ``heapq`` machinery the inlined
+    kernel hot paths use directly; the wrapper exists so cold paths (the
+    generic ``step()``, the sanitizer's finalize, diagnostics) can talk to
+    any backend through one small interface: ``push`` / ``pop`` /
+    ``peek_time`` / ``entries`` / ``len``.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_list",)
+
+    def __init__(self, backing: list | None = None):
+        # The Simulator passes its own list so `sim._heap` and the
+        # scheduler view are literally the same object.
+        self._list: list[tuple] = [] if backing is None else backing
+
+    @property
+    def size(self) -> int:
+        """Number of pending entries."""
+        return len(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def push(self, t: float, seq: int, event: Any) -> None:
+        """Insert one ``(t, seq, event)`` entry."""
+        heappush(self._list, (t, seq, event))
+
+    def pop(self) -> tuple:
+        """Remove and return the globally minimal ``(t, seq, event)``."""
+        return heappop(self._list)
+
+    def peek_time(self) -> float:
+        """Timestamp of the next entry, or ``inf`` when empty."""
+        return self._list[0][0] if self._list else _INF
+
+    def entries(self) -> list[tuple]:
+        """All pending entries, sorted by ``(t, seq)``."""
+        return sorted(self._list)
+
+
+class CalendarScheduler:
+    """Calendar-queue (event-wheel) backend tuned for dense timer traffic.
+
+    See the module docstring for the ordering-exactness argument.  The
+    queue self-tunes: when the entry count outgrows (or far undershoots)
+    the bucket array, it rebuilds with a bucket count sized to the load
+    and a power-of-two bucket width matched to the pending-entry spread,
+    targeting a couple of entries per bucket.
+    """
+
+    name = "wheel"
+
+    __slots__ = (
+        "width",
+        "inv_width",
+        "nbuckets",
+        "mask",
+        "buckets",
+        "size",
+        "cur",
+        "cur_hi",
+        "active",
+        "head",
+        "last_t",
+        "overflow",
+        "overflow_min",
+        "flat",
+        "grow_at",
+        "min_buckets",
+        "max_buckets",
+        "rebuilds",
+    )
+
+    #: lower clamp for the power-of-two width exponent (2**-16 ns).
+    _MIN_EXP = -16
+
+    #: a sorted run longer than this triggers a width retune on push —
+    #: past it, the O(run) insort memmove beats rebuild amortisation.
+    _FAT_RUN = 64
+
+    def __init__(self, width: float = 8.0, nbuckets: int = 64,
+                 max_buckets: int = 1 << 15):
+        if not (width > 0.0 and math.isfinite(width)):
+            raise ValueError(f"bucket width must be positive and finite, got {width!r}")
+        if math.frexp(width)[0] != 0.5:
+            raise ValueError(f"bucket width must be a power of two, got {width!r}")
+        if nbuckets < 2 or nbuckets & (nbuckets - 1):
+            raise ValueError(f"nbuckets must be a power of two >= 2, got {nbuckets!r}")
+        self.width = width
+        self.inv_width = 1.0 / width  # exact: width is a power of two
+        self.nbuckets = nbuckets
+        self.mask = nbuckets - 1
+        self.buckets: list[list[tuple]] = [[] for _ in range(nbuckets)]
+        self.size = 0
+        # Invariants:
+        #  * entries with bucket number <= `cur` live (sorted by (t, seq))
+        #    in `active[head:]` — every one of them precedes every ring
+        #    and overflow entry in time, because a ring bucket cur+k holds
+        #    only timestamps >= (cur+k) * width > any bucket-<=cur time;
+        #  * ring slot (cur+k) & mask, 1 <= k < nbuckets, holds ONLY
+        #    entries whose bucket is exactly cur+k — so a due bucket is
+        #    claimed whole (one C sort, no partition scans);
+        #  * entries beyond the ring window live in `overflow` (unsorted),
+        #    with `overflow_min` tracking their minimum timestamp so the
+        #    scan can tell when the window must be rebuilt around them.
+        self.cur = 0
+        # Exclusive upper time bound of bucket `cur`: exactly
+        # (cur + 1) * width, kept as a float so the push fast path is one
+        # comparison (`t < cur_hi` <=> `int(t * inv_width) <= cur` for
+        # t >= 0; exact because width is a power of two).
+        self.cur_hi = width
+        self.active: list[tuple] = []
+        self.head = 0
+        self.last_t = 0.0  # timestamp of the last pop (fallback anchor)
+        self.overflow: list[tuple] = []
+        self.overflow_min = _INF
+        # True when the last rebuild found no usable timestamp spread
+        # (same-t cluster): suppresses the fat-run retune until the
+        # picture can have changed, so it cannot thrash.
+        self.flat = False
+        self.min_buckets = nbuckets
+        self.max_buckets = max_buckets
+        self.grow_at = nbuckets << 1
+        self.rebuilds = 0
+
+    # -- hot path ------------------------------------------------------------
+
+    def push(self, t: float, seq: int, event: Any) -> None:
+        """Insert one ``(t, seq, event)`` entry (kernel guarantees t >= now).
+
+        NOTE: this body is manually inlined at the kernel's hot scheduling
+        sites (``Timeout.__init__``, ``pooled_timeout``, ``_wake_event`` in
+        :mod:`repro.sim.core`) — keep the copies in sync.
+        """
+        entry = (t, seq, event)
+        if t < self.cur_hi:
+            # At or before the bucket currently being drained: splice into
+            # the sorted run at/after the consumption cursor.  `t >= last
+            # popped t` makes position >= head always correct.
+            active = self.active
+            insort(active, entry, self.head)
+            self.size += 1
+            if len(active) - self.head > self._FAT_RUN and not self.flat:
+                self._rebuild()
+            return
+        b = int(t * self.inv_width)
+        if b - self.cur < self.nbuckets:
+            self.buckets[b & self.mask].append(entry)
+        else:
+            self.overflow.append(entry)
+            if t < self.overflow_min:
+                self.overflow_min = t
+        self.size += 1
+        if self.size > self.grow_at:
+            self._rebuild()
+
+    def pop(self) -> tuple:
+        """Remove and return the globally minimal ``(t, seq, event)``."""
+        if not self.size:
+            raise IndexError("pop from an empty CalendarScheduler")
+        if self.head >= len(self.active):
+            self._advance()
+        entry = self.active[self.head]
+        self.head += 1
+        self.size -= 1
+        self.last_t = entry[0]
+        return entry
+
+    # -- cold paths ----------------------------------------------------------
+
+    def peek_time(self) -> float:
+        """Timestamp of the next entry, or ``inf`` when empty.
+
+        May advance the internal current-bucket cursor (queue content is
+        unchanged); the work is shared with the following ``pop``.
+        """
+        if not self.size:
+            return _INF
+        if self.head >= len(self.active):
+            self._advance()
+        return self.active[self.head][0]
+
+    @property
+    def _size(self) -> int:  # symmetry with HeapScheduler.size users
+        return self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def entries(self) -> list[tuple]:
+        """All pending entries, sorted by ``(t, seq)``."""
+        out = list(self.active[self.head:])
+        for lst in self.buckets:
+            out.extend(lst)
+        out.extend(self.overflow)
+        out.sort()
+        return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Make ``active[head]`` the next due entry (size > 0 required).
+
+        Scans the ring forward from ``cur`` and claims the first non-empty
+        bucket whole (slot contents are exactly that bucket, sorted once
+        in C).  An overflow entry that would land at or before the claimed
+        bucket — or an empty ring — forces a rebuild, which re-centres the
+        window around the minimum pending entry; that rebuild always
+        leaves ``active`` non-empty, so the loop runs at most twice.
+        """
+        if self.size <= (self.nbuckets >> 3) and self.nbuckets > self.min_buckets:
+            # Far emptier than the ring: shrink so rotation scans stay
+            # proportional to the load.
+            self._rebuild()
+        while True:
+            if self.head < len(self.active):
+                return
+            buckets = self.buckets
+            mask = self.mask
+            cur = self.cur
+            claimed = False
+            for k in range(1, self.nbuckets):
+                lst = buckets[(cur + k) & mask]
+                if lst:
+                    ab = cur + k
+                    if self.overflow and int(self.overflow_min * self.inv_width) <= ab:
+                        break  # an overflow entry sorts first: rebuild
+                    buckets[ab & mask] = []
+                    lst.sort()
+                    self.active = lst
+                    self.head = 0
+                    self.cur = ab
+                    self.cur_hi = (ab + 1) * self.width
+                    # Fresh bucket: the same-t picture may have changed, so
+                    # re-allow the push-side fat-run retune.
+                    self.flat = False
+                    claimed = True
+                    break
+            if claimed:
+                return
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Re-tune bucket count and width to the pending entries.
+
+        Deterministic: derives everything from the pending entries.  Width
+        is a power of two targeting several entries per bucket over the
+        *dense* 7/8-quantile of the pending spread — far-future outliers
+        are shrugged off to the overflow list instead of inflating the
+        bucket width (the classic calendar-queue skew failure).  The
+        window is anchored at the minimum pending entry, which is valid
+        because any future push happens at ``now`` = a popped timestamp
+        <= that minimum, and a push at or before ``cur`` splices into the
+        active run.
+        """
+        entries = self.active[self.head:]
+        for lst in self.buckets:
+            entries.extend(lst)
+        entries.extend(self.overflow)
+        entries.sort()
+        size = len(entries)
+        n = self.min_buckets
+        while n < size and n < self.max_buckets:
+            n <<= 1
+        width = self.width
+        self.flat = True
+        if size >= 2:
+            lo = entries[0][0]
+            dense = entries[(size * 7) // 8][0] - lo
+            if dense > 0.0:
+                self.flat = False
+                # ~8 entries per bucket amortises the per-bucket claim cost
+                # (one Timsort) without inflating the current-bucket insorts.
+                target = dense * 8.0 / size
+                exp = int(math.floor(math.log2(target))) + 1
+                if exp < self._MIN_EXP:
+                    exp = self._MIN_EXP
+                width = math.ldexp(1.0, exp)
+        inv = 1.0 / width
+        self.width = width
+        self.inv_width = inv
+        self.nbuckets = n
+        self.mask = n - 1
+        self.grow_at = (n << 1) if n < self.max_buckets else (1 << 62)
+        self.buckets = [[] for _ in range(n)]
+        self.overflow = []
+        self.overflow_min = _INF
+        cur = int(entries[0][0] * inv) if size else int(self.last_t * inv)
+        self.cur = cur
+        self.cur_hi = (cur + 1) * width
+        mask = self.mask
+        horizon = cur + n
+        active = []
+        for e in entries:
+            b = int(e[0] * inv)
+            if b <= cur:
+                active.append(e)  # entries are sorted: stays sorted
+            elif b < horizon:
+                self.buckets[b & mask].append(e)
+            else:
+                self.overflow.append(e)
+                if e[0] < self.overflow_min:
+                    self.overflow_min = e[0]
+        self.active = active
+        self.head = 0
+        self.rebuilds += 1
+
+
+def make_scheduler(backend: str, backing: list | None = None):
+    """Instantiate the scheduler for *backend* (already resolved)."""
+    if backend == "heap":
+        return HeapScheduler(backing)
+    if backend == "wheel":
+        return CalendarScheduler()
+    raise ValueError(f"unknown simulator backend {backend!r}")
+
+
+def drain_order(schedule: Iterable[tuple], backend: str) -> list[tuple]:
+    """Reference helper: feed ``(t, seq, event)`` entries through a fresh
+    *backend* scheduler and return them in pop order.  Used by the backend
+    identity tests; not part of the kernel hot path."""
+    sched = make_scheduler(backend)
+    entries = list(schedule)
+    for t, seq, ev in entries:
+        sched.push(t, seq, ev)
+    return [sched.pop() for _ in range(len(entries))]

@@ -1,0 +1,222 @@
+"""The kernel perf-history pipeline: artifact writer + baseline gate.
+
+Covers ``write_kernel_bench`` (the ``BENCH_kernel.json`` producer behind
+``python -m repro.bench selftest --bench-json``) and the gate logic in
+``scripts/check_bench.py`` that CI's ``bench-history`` job runs against
+the committed baseline — both unit-tested on synthesized records so the
+tests never pay for a real benchmark sweep.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import RunRecord, calibration_hash, write_kernel_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_check_bench():
+    """Import scripts/check_bench.py (scripts/ is not a package)."""
+    path = REPO_ROOT / "scripts" / "check_bench.py"
+    spec = importlib.util.spec_from_file_location("check_bench", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+check_bench = _load_check_bench()
+
+
+def _backend_block(events=1000, wall_s=0.01, speedup=1.0):
+    return {
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_s": events / wall_s,
+        "speedup_vs_heap": speedup,
+        "scenarios": {
+            "mixed 8x100": {"wall_s": wall_s, "events": events, "events_per_s": events / wall_s}
+        },
+    }
+
+
+def _selftest_record(heap=None, wheel=None):
+    return RunRecord(
+        experiment_id="selftest",
+        title="Kernel selftest",
+        data={
+            "kernel_bench": {
+                "heap": heap or _backend_block(),
+                "wheel": wheel or _backend_block(speedup=1.1),
+            }
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# write_kernel_bench
+# ---------------------------------------------------------------------------
+
+
+def test_write_kernel_bench_happy_path(tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    path = write_kernel_bench(
+        [RunRecord(experiment_id="latency"), _selftest_record()],
+        out,
+        quick=True,
+        run_id="test-run",
+    )
+    assert path == out
+    doc = json.loads(out.read_text())
+    assert doc["run_id"] == "test-run"
+    assert doc["mode"] == "quick"
+    assert doc["calibration_hash"] == calibration_hash()
+    assert set(doc["backends"]) == {"heap", "wheel"}
+    wheel = doc["backends"]["wheel"]
+    assert wheel["speedup_vs_heap"] == 1.1
+    assert wheel["events"] == 1000
+    assert "scenarios" in wheel
+
+
+def test_write_kernel_bench_skips_errored_records(tmp_path):
+    bad = _selftest_record()
+    bad.status = "error"
+    good = _selftest_record(wheel=_backend_block(speedup=2.0))
+    write_kernel_bench([bad, good], tmp_path / "b.json")
+    doc = json.loads((tmp_path / "b.json").read_text())
+    assert doc["backends"]["wheel"]["speedup_vs_heap"] == 2.0
+
+
+def test_write_kernel_bench_requires_selftest_data(tmp_path):
+    with pytest.raises(ValueError, match="selftest"):
+        write_kernel_bench(
+            [RunRecord(experiment_id="latency"), RunRecord(experiment_id="faults")],
+            tmp_path / "b.json",
+        )
+    assert not (tmp_path / "b.json").exists()
+
+
+def test_calibration_hash_is_stable_and_short():
+    h = calibration_hash()
+    assert h == calibration_hash()
+    assert len(h) == 12
+    int(h, 16)  # hex string
+
+
+# ---------------------------------------------------------------------------
+# check_bench gate logic
+# ---------------------------------------------------------------------------
+
+
+def _artifact(heap_eps=500_000.0, wheel_eps=550_000.0, events=1000, cal=None):
+    mk = lambda eps, speedup: {
+        "events": events,
+        "wall_s": events / eps,
+        "events_per_s": eps,
+        "speedup_vs_heap": speedup,
+    }
+    return {
+        "run_id": "t",
+        "calibration_hash": cal if cal is not None else calibration_hash(),
+        "backends": {
+            "heap": mk(heap_eps, 1.0),
+            "wheel": mk(wheel_eps, wheel_eps / heap_eps),
+        },
+    }
+
+
+def _baseline(heap=400_000, wheel=400_000, max_reg=20, min_speedup=1.0, cal=None):
+    return {
+        "calibration_hash": cal if cal is not None else calibration_hash(),
+        "max_regression_pct": max_reg,
+        "min_speedup_vs_heap": min_speedup,
+        "backends": {
+            "heap": {"events_per_s": heap},
+            "wheel": {"events_per_s": wheel},
+        },
+    }
+
+
+def test_gate_passes_on_healthy_artifact():
+    assert check_bench.check(_artifact(), _baseline()) == []
+
+
+def test_gate_flags_throughput_regression():
+    # 20% of 400k -> floor 320k; 300k is below it.
+    failures = check_bench.check(_artifact(wheel_eps=300_000.0), _baseline())
+    assert len(failures) == 2  # regression + speedup < 1.0
+    assert any("regresses" in f and "wheel" in f for f in failures)
+
+
+def test_gate_allows_regression_within_tolerance():
+    # 350k > the 320k floor, but wheel must still not lose to heap.
+    failures = check_bench.check(
+        _artifact(heap_eps=340_000.0, wheel_eps=350_000.0), _baseline()
+    )
+    assert failures == []
+
+
+def test_gate_flags_wheel_slower_than_heap():
+    failures = check_bench.check(
+        _artifact(heap_eps=500_000.0, wheel_eps=450_000.0), _baseline()
+    )
+    assert any("must not lose" in f for f in failures)
+
+
+def test_gate_flags_event_count_disagreement():
+    art = _artifact()
+    art["backends"]["wheel"]["events"] += 1
+    failures = check_bench.check(art, _baseline())
+    assert any("bit-identity" in f for f in failures)
+
+
+def test_gate_flags_calibration_mismatch():
+    failures = check_bench.check(_artifact(cal="deadbeef0000"), _baseline())
+    assert any("calibration" in f for f in failures)
+
+
+def test_gate_flags_missing_backend():
+    art = _artifact()
+    del art["backends"]["wheel"]
+    failures = check_bench.check(art, _baseline())
+    assert any("missing baseline backend" in f for f in failures)
+
+
+def test_gate_rejects_malformed_artifact():
+    failures = check_bench.check({"run_id": "t"}, _baseline())
+    assert len(failures) == 1
+    assert "no per-backend numbers" in failures[0]
+
+
+def test_check_bench_cli_roundtrip(tmp_path, capsys):
+    art_path = tmp_path / "BENCH_kernel.json"
+    base_path = tmp_path / "baseline.json"
+    art_path.write_text(json.dumps(_artifact()))
+    base_path.write_text(json.dumps(_baseline()))
+    rc = check_bench.main([str(art_path), "--baseline", str(base_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ok" in out
+
+    art_path.write_text(json.dumps(_artifact(wheel_eps=100_000.0)))
+    rc = check_bench.main([str(art_path), "--baseline", str(base_path)])
+    assert rc == 1
+
+
+def test_check_bench_cli_unreadable_artifact(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        check_bench.main([str(tmp_path / "missing.json")])
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_committed_baseline_matches_current_calibration():
+    """The committed baseline must gate artifacts produced by the current
+    cost-model calibration — otherwise every CI run fails at the hash
+    check and the baseline was not refreshed with the calibration."""
+    baseline = check_bench.load(check_bench.DEFAULT_BASELINE)
+    assert baseline["calibration_hash"] == calibration_hash()
+    assert set(baseline["backends"]) == {"heap", "wheel"}
+    for block in baseline["backends"].values():
+        assert block["events_per_s"] > 0

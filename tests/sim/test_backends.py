@@ -1,0 +1,412 @@
+"""Multi-backend kernel contract: wheel == heap, bit for bit.
+
+The calendar-queue backend is only allowed to exist because it is
+indistinguishable from the binary-heap reference: same pop order, same
+seq numbers, same event counts, same golden rows.  These tests pin the
+contract at three levels — the bare schedulers, full simulations, and
+the pooled-object lifecycle that rides on top (stale handles, cancel
+semantics, delay guards).
+"""
+
+import math
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    BACKENDS,
+    CalendarScheduler,
+    EventPool,
+    HeapScheduler,
+    SimulationError,
+    Simulator,
+    TimerHandle,
+    resolve_backend,
+)
+from repro.sim.sched import BACKEND_ENV, drain_order, make_scheduler
+
+
+def _fingerprint(sim):
+    return (sim.now, sim.events_processed, sim._seq)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_backend_defaults_and_env(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_backend(None) == "heap"
+    monkeypatch.setenv(BACKEND_ENV, "wheel")
+    assert resolve_backend(None) == "wheel"
+    # Explicit argument wins over the environment.
+    assert resolve_backend("heap") == "heap"
+    assert resolve_backend(" WHEEL ") == "wheel"
+
+
+def test_unknown_backend_raises(monkeypatch):
+    with pytest.raises(ValueError, match="unknown simulator backend"):
+        resolve_backend("fibonacci")
+    with pytest.raises(SimulationError, match="unknown simulator backend"):
+        Simulator(backend="fibonacci")
+    monkeypatch.setenv(BACKEND_ENV, "bogus")
+    with pytest.raises(SimulationError, match="unknown simulator backend"):
+        Simulator()
+
+
+def test_simulator_exposes_backend_name():
+    for backend in BACKENDS:
+        sim = Simulator(backend=backend)
+        assert sim.backend == backend
+    assert isinstance(Simulator(backend="heap")._sched, HeapScheduler)
+    assert isinstance(Simulator(backend="wheel")._sched, CalendarScheduler)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-level ordering identity
+# ---------------------------------------------------------------------------
+
+
+def test_same_timestamp_fifo_across_bucket_boundaries():
+    """Equal-time entries pop in seq order even when their timestamps sit
+    exactly on (and across) calendar bucket boundaries."""
+    width = CalendarScheduler().width
+    times = []
+    # Three entries per timestamp: on a boundary, just below, just above,
+    # spanning several buckets plus a far-future rotation.
+    for k in range(6):
+        edge = k * width
+        times += [edge, edge, edge, edge + width / 2, edge + width / 2]
+    times += [1000 * width] * 3
+    schedule = [(t, seq, None) for seq, t in enumerate(times)]
+    expected = sorted(schedule)
+    assert drain_order(schedule, "heap") == expected
+    assert drain_order(schedule, "wheel") == expected
+
+
+def test_wheel_pop_interleaved_with_pushes_matches_heap():
+    """Pushes that land in the bucket currently being drained keep FIFO
+    order relative to already-queued equal-time entries."""
+    wheel = make_scheduler("wheel")
+    heap = make_scheduler("heap")
+    seq = 0
+    for t in (0.0, 0.5, 0.5, 7.0, 9.0):
+        wheel.push(t, seq, None)
+        heap.push(t, seq, None)
+        seq += 1
+    out_w = [wheel.pop()]
+    out_h = [heap.pop()]
+    # Mid-drain: same-time and near-future entries (the replay-timer
+    # pattern), including one exactly at the live bucket's boundary.
+    for t in (0.5, 0.5, 8.0):
+        wheel.push(t, seq, None)
+        heap.push(t, seq, None)
+        seq += 1
+    while len(heap):
+        out_w.append(wheel.pop())
+        out_h.append(heap.pop())
+    assert out_w == out_h
+    assert [e[0] for e in out_h] == sorted(e[0] for e in out_h)
+
+
+def test_wheel_overflow_and_rebuild_paths():
+    """Far-future entries (beyond the ring window) still pop in order, and
+    the queue re-tunes itself without disturbing the drain sequence."""
+    sched = CalendarScheduler(nbuckets=4, max_buckets=8)
+    n = 200
+    schedule = [(float((i * 37) % 1000) + 0.25 * (i % 3), i, None) for i in range(n)]
+    for t, seq, ev in schedule:
+        sched.push(t, seq, ev)
+    assert len(sched) == n
+    drained = [sched.pop() for _ in range(n)]
+    assert drained == sorted(schedule)
+    assert sched.rebuilds > 0  # grow/shrink actually exercised
+    assert len(sched) == 0
+    with pytest.raises(IndexError):
+        sched.pop()
+
+
+def test_wheel_entries_view_is_sorted_and_complete():
+    sched = CalendarScheduler()
+    schedule = [(float(997 - i) * 3.0, i, None) for i in range(50)]
+    for t, seq, ev in schedule:
+        sched.push(t, seq, ev)
+    assert sched.entries() == sorted(schedule)
+    assert sched.peek_time() == min(t for t, _, _ in schedule)
+
+
+@given(
+    deltas=st.lists(
+        st.one_of(
+            st.just(0.0),
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.just(1e6),  # far-future outlier: forces the overflow path
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    pop_bias=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_schedules_drain_identically(deltas, pop_bias):
+    """Heap and wheel produce the same pop sequence for arbitrary mixes of
+    monotone pushes and interleaved pops (the kernel's usage pattern)."""
+    heap = make_scheduler("heap")
+    wheel = make_scheduler("wheel")
+    last = 0.0
+    seq = 0
+    out_h, out_w = [], []
+    for i, d in enumerate(deltas):
+        t = last + d
+        heap.push(t, seq, None)
+        wheel.push(t, seq, None)
+        seq += 1
+        if len(heap) and i % pop_bias == 0:
+            eh = heap.pop()
+            out_h.append(eh)
+            out_w.append(wheel.pop())
+            last = eh[0]
+    while len(heap):
+        out_h.append(heap.pop())
+        out_w.append(wheel.pop())
+    assert out_h == out_w
+    assert out_h == sorted(out_h)
+
+
+# ---------------------------------------------------------------------------
+# Full-simulation identity
+# ---------------------------------------------------------------------------
+
+
+def _mixed_workload(sim, n=40, rounds=12):
+    from repro.sim import Channel
+
+    ch = Channel(sim, bandwidth=4.0, latency=120.0)
+    done = []
+
+    def worker(i):
+        for k in range(rounds):
+            yield sim.timeout((i % 7) + 0.5 * (k % 3))
+            sim.pooled_timeout(0.25 * (k % 5))
+            if k % 4 == 0:
+                yield ch.transfer(256 + 32 * (i % 4))
+        done.append(i)
+
+    for i in range(n):
+        sim.process(worker(i))
+
+
+def test_full_sim_fingerprint_identical_across_backends():
+    fps = []
+    for backend in BACKENDS:
+        sim = Simulator(backend=backend)
+        _mixed_workload(sim)
+        sim.run()
+        fps.append(_fingerprint(sim))
+    assert len(set(fps)) == 1
+
+
+def test_bounded_run_identical_across_backends():
+    fps = []
+    for backend in BACKENDS:
+        sim = Simulator(backend=backend)
+        _mixed_workload(sim)
+        sim.run(until=300.0)
+        mid = _fingerprint(sim)
+        sim.run()
+        fps.append((mid, _fingerprint(sim)))
+    assert len(set(fps)) == 1
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_random_timer_sims_identical(delays):
+    fps = []
+    for backend in BACKENDS:
+        sim = Simulator(backend=backend)
+
+        def agent(d):
+            yield sim.timeout(d)
+            sim.pooled_timeout(d / 2.0)
+
+        for d in delays:
+            sim.process(agent(d))
+        sim.run()
+        fps.append(_fingerprint(sim))
+    assert len(set(fps)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Pooled timers: stale handles, cancel semantics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_timer_handle_goes_stale_after_pooled_reuse(backend):
+    sim = Simulator(backend=backend)
+    first = sim.pooled_timeout(5.0)
+    handle = first.handle()
+    assert isinstance(handle, TimerHandle)
+    assert handle.active and not handle.stale
+    sim.run()
+    # Fired but not yet recycled into a new timer: inactive, not stale.
+    assert not handle.active
+    # Reuse the pooled object for a new timer: the old handle must go
+    # stale instead of aliasing the new timer.
+    second = sim.pooled_timeout(3.0)
+    assert second is first  # free-list reuse (same object, new generation)
+    assert handle.stale
+    assert not handle.active
+    assert handle.cancel() is False  # no-op: must NOT cancel `second`
+    assert not second.cancelled
+    sim.run()
+    assert sim.now == 8.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_after_pooled_reuse_does_not_perturb_determinism(backend):
+    """A retransmission layer cancelling via a kept handle after the pool
+    recycled the timer must neither raise nor change the event stream."""
+
+    def run(cancel_late):
+        sim = Simulator(backend=backend)
+        handles = []
+
+        def retrier():
+            for k in range(20):
+                tm = sim.pooled_timeout(1.0 + 0.125 * (k % 8))
+                handles.append(tm.handle())
+                yield tm
+
+        sim.process(retrier())
+        sim.run()
+        if cancel_late:
+            for h in handles:
+                h.cancel()  # all stale or fired: every call is a no-op
+        return _fingerprint(sim)
+
+    assert run(False) == run(True)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_fire_and_forget_keeps_event_count(backend):
+    """Cancelling an armed fire-and-forget timer pops it as a no-op: the
+    event count (and every downstream seq) is unchanged."""
+
+    def run(do_cancel):
+        sim = Simulator(backend=backend)
+
+        def proc():
+            tm = sim.pooled_timeout(4.0, value="x")
+            if do_cancel:
+                assert tm.cancel() is True
+                assert tm.cancelled
+                assert tm.cancel() is False  # idempotent
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        sim.run()
+        return _fingerprint(sim)
+
+    assert run(True) == run(False)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_waited_on_timeout_raises(backend):
+    sim = Simulator(backend=backend)
+    captured = {}
+
+    def proc():
+        tm = sim.timeout(5.0)
+        captured["tm"] = tm
+        yield tm
+
+    sim.process(proc())
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError, match="waiting on"):
+        captured["tm"].cancel()
+    sim.run()
+    assert sim.now == 5.0
+
+
+# ---------------------------------------------------------------------------
+# Delay guards
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("bad", [-1.0, -1e-12, float("nan"), float("inf")])
+def test_bad_delays_rejected_on_every_backend(backend, bad):
+    sim = Simulator(backend=backend)
+    with pytest.raises(SimulationError, match="delay"):
+        sim.timeout(bad)
+    with pytest.raises(SimulationError, match="delay"):
+        sim.pooled_timeout(bad)
+    # The guard must fire before anything is scheduled.
+    assert sim.pending_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# Pool statistics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_event_pool_recycles_and_reports(backend):
+    sim = Simulator(backend=backend)
+
+    def proc():
+        for _ in range(30):
+            yield sim.pooled_timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    stats = sim.pool.stats()
+    assert stats["recycled"] > 0
+    assert stats["hits"] > 0
+    assert stats["dropped"] == 0
+    assert isinstance(sim.pool, EventPool)
+
+
+def test_pool_cap_bounds_free_list():
+    pool = EventPool(cap=2)
+    stats = pool.stats()
+    assert stats["cap"] == 2
+    assert stats["free_timeouts"] == 0
+    assert stats["hits"] == stats["misses"] == stats["recycled"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Calendar scheduler constructor guards
+# ---------------------------------------------------------------------------
+
+
+def test_calendar_ctor_rejects_bad_geometry():
+    with pytest.raises(ValueError, match="power of two"):
+        CalendarScheduler(width=3.0)
+    with pytest.raises(ValueError, match="positive"):
+        CalendarScheduler(width=-2.0)
+    with pytest.raises(ValueError, match="positive"):
+        CalendarScheduler(width=math.inf)
+    with pytest.raises(ValueError, match="nbuckets"):
+        CalendarScheduler(nbuckets=48)
+
+
+def test_env_backend_reaches_simulator(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "wheel")
+    sim = Simulator()
+    assert sim.backend == "wheel"
+    assert sim._heap is None
+    monkeypatch.setenv(BACKEND_ENV, "heap")
+    sim = Simulator()
+    assert sim.backend == "heap"
+    assert sim._heap is not None
