@@ -42,6 +42,7 @@ DOC_FILES = [
 SMOKE_RUN = {
     "python -m repro.bench --list",
     "python -m repro.bench recovery --quick --no-cache",
+    "python -m repro.bench scale --quick --no-cache",
     "python -m repro.analysis lint --explain",
     "python -m repro.analysis docstrings src/repro",
 }
@@ -57,6 +58,7 @@ VALUE_FLAGS = {
         "--cache-dir",
         "--backend",
         "--bench-json",
+        "--scale-json",
     },
     "python -m repro.obs": {"-o", "--out", "-j", "--jobs"},
     "pytest": {"-m", "-k", "-n", "--cov", "--cov-fail-under"},

@@ -14,6 +14,9 @@ Options:
 * ``--bench-json PATH`` — write the kernel-benchmark artifact
   (``BENCH_kernel.json``) from the ``selftest`` experiment's data
   (implies ``--no-cache`` so the numbers are freshly measured);
+* ``--scale-json PATH`` — write the large-torus scaling artifact
+  (``BENCH_scale.json``) from the ``scale`` experiment's data
+  (implies ``--no-cache``);
 * ``--trace PATH`` — record every experiment under :mod:`repro.obs` and
   write one merged Chrome ``trace_event`` file (implies ``--no-cache``);
 * ``--full`` / ``--quick`` — paper's exact parameters vs trimmed sweeps.
@@ -26,7 +29,13 @@ import os
 import sys
 
 from .harness import all_ids, get
-from .runner import default_cache_dir, run_experiments, write_json, write_kernel_bench
+from .runner import (
+    default_cache_dir,
+    run_experiments,
+    write_json,
+    write_kernel_bench,
+    write_scale_bench,
+)
 from .tables import fmt_ratio, render_table
 
 
@@ -76,6 +85,11 @@ def main(argv=None) -> int:
         "the selftest experiment's data (implies --no-cache)",
     )
     parser.add_argument(
+        "--scale-json", default=None, metavar="PATH",
+        help="write the large-torus scaling artifact (BENCH_scale.json) from "
+        "the scale experiment's data (implies --no-cache)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON of the sweep to PATH "
         "(open in Perfetto; implies --no-cache)",
@@ -106,6 +120,8 @@ def main(argv=None) -> int:
     ids = args.ids or all_ids()
     if args.bench_json is not None and "selftest" not in ids:
         parser.error("--bench-json needs the 'selftest' experiment in the sweep")
+    if args.scale_json is not None and "scale" not in ids:
+        parser.error("--scale-json needs the 'scale' experiment in the sweep")
     try:
         for exp_id in ids:
             get(exp_id)
@@ -123,7 +139,11 @@ def main(argv=None) -> int:
         ids,
         quick=quick,
         jobs=args.jobs,
-        use_cache=not (args.no_cache or args.bench_json is not None),
+        use_cache=not (
+            args.no_cache
+            or args.bench_json is not None
+            or args.scale_json is not None
+        ),
         cache_dir=args.cache_dir,
         progress=progress,
         trace=args.trace is not None,
@@ -162,6 +182,14 @@ def main(argv=None) -> int:
             path = write_kernel_bench(records, args.bench_json, quick=quick)
         except ValueError as exc:
             print(f"bench-json: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {path}", file=sys.stderr)
+
+    if args.scale_json:
+        try:
+            path = write_scale_bench(records, args.scale_json, quick=quick)
+        except ValueError as exc:
+            print(f"scale-json: {exc}", file=sys.stderr)
             return 1
         print(f"wrote {path}", file=sys.stderr)
 

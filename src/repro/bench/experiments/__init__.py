@@ -11,6 +11,7 @@ from . import (  # noqa: F401
     fig8910,
     hsg,
     recovery,
+    scale,
     selftest,
     table1,
 )

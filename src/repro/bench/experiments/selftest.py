@@ -35,11 +35,17 @@ from __future__ import annotations
 import gc
 import time
 
+from ...apenet import BufferKind
+from ...cuda.memcpy import memcpy_sync
+from ...ib.cluster import build_ib_cluster
+from ...mpi.comm import MpiWorld
+from ...obs import TraceSession
 from ...pcie.device import HostMemory
 from ...pcie.fabric import PCIeFabric
 from ...sim import BACKENDS, Channel, Simulator
 from ...units import GBps, kib, ns, us
 from ..harness import ExperimentError, ExperimentResult, register
+from ..microbench import make_cluster
 from ..tables import render_table
 
 __all__ = [
@@ -258,12 +264,6 @@ def _obs_smoke_workload():
     is the workload's exact behavioural fingerprint: any divergence between
     a traced and an untraced run shows up as an inequality.
     """
-    from ...apenet import BufferKind
-    from ...cuda.memcpy import memcpy_sync
-    from ...ib.cluster import build_ib_cluster
-    from ...mpi.comm import MpiWorld
-    from ..microbench import make_cluster
-
     nbytes = kib(16)
 
     # -- G-G P2P put over the torus ------------------------------------
@@ -322,8 +322,6 @@ def observability_smoke():
     or not an outer ``--trace`` session is active (nested sessions fan
     out; see :mod:`repro.obs.session`).
     """
-    from ...obs import TraceSession
-
     baseline = _obs_smoke_workload()
     session = TraceSession(label="selftest-smoke")
     with session.activate():

@@ -48,6 +48,7 @@ __all__ = [
     "run_experiments",
     "write_json",
     "write_kernel_bench",
+    "write_scale_bench",
 ]
 
 #: Default location of the cache, relative to the working directory.
@@ -93,6 +94,22 @@ class RunRecord:
 # ---------------------------------------------------------------------------
 
 
+# DEFAULT_CONFIG is a frozen dataclass, so its dict form — walked for
+# every cache key and every artifact stamp — is computed once per
+# process, not once per experiment (or, before the hoist, once per
+# selftest backend-grid repeat).  The derived hash values are unchanged.
+_calibration_dict_memo: Optional[dict] = None
+_calibration_hash_memo: Optional[str] = None
+
+
+def _calibration_dict() -> dict:
+    """Memoised ``asdict(DEFAULT_CONFIG)`` (treat as read-only)."""
+    global _calibration_dict_memo
+    if _calibration_dict_memo is None:
+        _calibration_dict_memo = asdict(DEFAULT_CONFIG)
+    return _calibration_dict_memo
+
+
 def cache_key(experiment_id: str, quick: bool) -> str:
     """Content hash identifying one experiment execution.
 
@@ -107,7 +124,7 @@ def cache_key(experiment_id: str, quick: bool) -> str:
     ident = {
         "experiment": experiment_id,
         "quick": bool(quick),
-        "calibration": asdict(DEFAULT_CONFIG),
+        "calibration": _calibration_dict(),
         "backend": resolve_backend(None),
         "version": __version__,
     }
@@ -118,11 +135,18 @@ def cache_key(experiment_id: str, quick: bool) -> str:
 def calibration_hash() -> str:
     """Short content hash of every calibration constant.
 
-    Stamped into bench artifacts (``BENCH_kernel.json``) so a perf number
-    can never be compared across different model calibrations unnoticed.
+    Stamped into bench artifacts (``BENCH_kernel.json``,
+    ``BENCH_scale.json``) so a perf number can never be compared across
+    different model calibrations unnoticed.  Computed once per process
+    (``tests/bench/test_calibration_once.py`` pins this).
     """
-    blob = json.dumps(asdict(DEFAULT_CONFIG), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+    global _calibration_hash_memo
+    if _calibration_hash_memo is None:
+        blob = json.dumps(
+            _calibration_dict(), sort_keys=True, separators=(",", ":")
+        )
+        _calibration_hash_memo = hashlib.sha256(blob.encode()).hexdigest()[:12]
+    return _calibration_hash_memo
 
 
 def default_cache_dir() -> Path:
@@ -437,6 +461,48 @@ def write_kernel_bench(
         "calibration_hash": calibration_hash(),
         "mode": "quick" if quick else "full",
         "backends": backends,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    return path
+
+
+def write_scale_bench(
+    records: Sequence[RunRecord],
+    path: Path | str,
+    quick: bool = True,
+    run_id: Optional[str] = None,
+) -> Path:
+    """Write the machine-readable scaling artifact to *path*.
+
+    Extracts the TEPS rows and the exact-vs-flow parity report that the
+    ``scale`` experiment leaves in ``data["scale_bench"]`` and stamps
+    them with the package version and calibration hash — the
+    ``BENCH_scale.json`` consumed by ``scripts/check_bench.py --scale``.
+    Raises :class:`ValueError` when no record carries scale-bench data
+    (e.g. ``scale`` was not part of the sweep or errored).
+    """
+    bench = None
+    for record in records:
+        if record.status != "error" and record.data and "scale_bench" in record.data:
+            bench = record.data["scale_bench"]
+            break
+    if bench is None:
+        raise ValueError(
+            "no scale-bench data in this sweep: run the 'scale' "
+            "experiment (uncached) to produce BENCH_scale.json"
+        )
+    doc = {
+        "run_id": run_id or default_run_id(),
+        "repro_version": __version__,
+        "calibration_hash": calibration_hash(),
+        "mode": "quick" if quick else "full",
+        "rows": bench["rows"],
+        "parity": bench["parity"],
+        "dead_links": bench.get("dead_links", []),
+        "golden_dims": bench.get("golden_dims", []),
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
