@@ -45,6 +45,7 @@ SMOKE_RUN = {
     "python -m repro.bench scale --quick --no-cache",
     "python -m repro.analysis lint --explain",
     "python -m repro.analysis docstrings src/repro",
+    "PYTHONPATH=src python scripts/serve_smoke.py",
 }
 
 #: Flags that consume the following token, per CLI prefix.  Keeps the id /
@@ -171,6 +172,11 @@ def check_command(command: str):
 
     if prog == "pip":
         return []  # environment-dependent by design; never validated or run
+
+    if prog == "curl":
+        # The serve quickstart: talks to a live service, so there is
+        # nothing to validate statically and nothing safe to smoke-run.
+        return []
 
     if prog == "pytest":
         problems = []

@@ -1,0 +1,279 @@
+#!/usr/bin/env python
+"""End-to-end smoke of ``python -m repro.serve`` as a real subprocess.
+
+Boots the service on an ephemeral port, then walks the full client story
+the README promises:
+
+1. a healthy submission runs to ``done`` and /result returns the
+   deterministic body;
+2. a *concurrent* duplicate coalesces onto the in-flight execution
+   (``repro_serve_dedup_hits_total``), a *later* duplicate answers 200
+   straight from the shared result cache
+   (``repro_serve_cache_hits_total``);
+3. a failing request (deadline too short for the experiment) terminates
+   with a structured ``failed``/``timeout`` outcome — no hang;
+4. an unknown experiment is a 400, flooding past ``--queue-limit`` is a
+   429 with ``Retry-After``;
+5. /metrics exposes the golden metric families with the expected labels;
+6. SIGTERM drains: /readyz flips to 503, the final metrics snapshot on
+   stderr reports ``repro_serve_up 0``, the process exits 0, and no
+   worker processes survive it.
+
+Exit code 0 when every step passes.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Metric families the service contract guarantees on /metrics, with one
+#: label-shape probe each (None = unlabelled family).
+GOLDEN_METRICS = {
+    "repro_serve_info": 'version="',
+    "repro_serve_up": None,
+    "repro_serve_http_requests_total": 'route="submit"',
+    "repro_serve_requests_total": 'outcome="accepted"',
+    "repro_serve_requests_inflight": None,
+    "repro_serve_queue_depth": None,
+    "repro_serve_cache_hits_total": None,
+    "repro_serve_cache_misses_total": None,
+    "repro_serve_dedup_hits_total": None,
+    "repro_serve_completed_total": 'outcome="done"',
+    "repro_serve_request_latency_seconds_bucket": 'le="',
+    "repro_serve_sim_events_total": None,
+    "repro_serve_sim_wall_seconds_total": None,
+    "repro_serve_retries_total": None,
+    "repro_serve_worker_restarts_total": None,
+}
+
+FAILURES: list[str] = []
+
+
+def check(ok: bool, what: str) -> None:
+    print(("ok   " if ok else "FAIL ") + what)
+    if not ok:
+        FAILURES.append(what)
+
+
+class Client:
+    def __init__(self, port: int):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def get(self, path: str):
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=30) as resp:
+                return resp.status, dict(resp.headers), resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read().decode()
+
+    def get_json(self, path: str):
+        status, headers, body = self.get(path)
+        return status, headers, json.loads(body)
+
+    def post(self, path: str, doc: dict):
+        data = json.dumps(doc).encode()
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, dict(resp.headers), json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.loads(exc.read().decode())
+
+    def wait_terminal(self, request_id: str, timeout_s: float = 120.0) -> dict:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            _, _, doc = self.get_json(f"/status/{request_id}")
+            if doc.get("state") in ("done", "failed"):
+                return doc
+            time.sleep(0.05)
+        raise SystemExit(f"request {request_id} still not terminal after {timeout_s}s")
+
+
+def orphan_workers(marker: str) -> list[int]:
+    """PIDs of surviving processes carrying our environment marker."""
+    pids = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit() or int(entry.name) == os.getpid():
+            continue
+        try:
+            environ = (entry / "environ").read_bytes()
+        except OSError:
+            continue
+        if marker.encode() in environ:
+            pids.append(int(entry.name))
+    return pids
+
+
+def main() -> int:
+    marker = f"REPRO_SERVE_SMOKE_MARKER=pid-{os.getpid()}"
+    with TemporaryDirectory(prefix="serve-smoke-cache-") as cache_dir:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        key, _, value = marker.partition("=")
+        env[key] = value
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve",
+                "--port", "0", "--workers", "1", "--queue-limit", "1",
+                "--cache-dir", cache_dir,
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            return run_session(proc, Client(_wait_port(proc)), marker)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+def _wait_port(proc) -> int:
+    line = proc.stderr.readline()
+    match = re.search(r"listening on http://[^:]+:(\d+)", line)
+    if not match:
+        raise SystemExit(f"no listening banner, got: {line!r}")
+    print("boot " + line.strip())
+    return int(match.group(1))
+
+
+def run_session(proc, client: Client, marker: str) -> int:
+    status, _, _ = client.get("/healthz")
+    check(status == 200, "/healthz answers 200")
+    status, _, _ = client.get("/readyz")
+    check(status == 200, "/readyz answers 200 while accepting")
+
+    # 1+2. Healthy run, with a concurrent duplicate coalescing onto it.
+    status, _, first = client.post("/submit", {"experiment": "fig3"})
+    check(status == 202, "healthy submit accepted (202)")
+    status, _, dup = client.post("/submit", {"experiment": "fig3"})
+    check(
+        status in (200, 202),
+        "concurrent duplicate admitted",
+    )
+    coalesced = status == 202 and dup.get("coalesced", False)
+    final = client.wait_terminal(first["request_id"])
+    check(final["state"] == "done", "healthy request reaches done")
+    _, _, result = client.get_json(f"/result/{first['request_id']}")
+    check(
+        result.get("result", {}).get("experiment_id") == "fig3"
+        and bool(result["result"].get("comparisons")),
+        "/result returns the deterministic body",
+    )
+
+    # A later duplicate is a cache hit answered 200 on admission.
+    status, _, cached = client.post("/submit", {"experiment": "fig3"})
+    check(
+        status == 200 and cached.get("cached") is True,
+        "later duplicate answered 200 from the shared cache",
+    )
+    check(
+        coalesced or cached.get("cached") is True,
+        "duplicate deduplicated (coalesced in flight or cache hit)",
+    )
+
+    # 3. A failing request: deadline far below the experiment's runtime
+    # (a different experiment, so it cannot coalesce with the above).
+    status, _, failing = client.post(
+        "/submit", {"experiment": "fig8", "quick": False, "deadline_s": 0.05}
+    )
+    check(status == 202, "doomed submit accepted (202)")
+    final = client.wait_terminal(failing["request_id"])
+    check(
+        final["state"] == "failed" and final["outcome"] == "timeout",
+        "doomed request fails structurally (timeout), no hang",
+    )
+
+    # 4. Bad requests and overload.
+    status, _, _ = client.post("/submit", {"experiment": "no-such-figure"})
+    check(status == 400, "unknown experiment rejected (400)")
+    # Flood with *distinct* coalescing keys (identical ones would dedup,
+    # not queue) and a short deadline so the backlog self-clears fast.
+    flood_hit_429 = False
+    retry_after = None
+    flood = [
+        ("fig9", False), ("fig9", True), ("faults", False),
+        ("faults", True), ("fig8", True), ("fig3", False),
+    ]
+    admitted = []
+    for experiment, quick in flood:
+        body = {"experiment": experiment, "quick": quick, "deadline_s": 1.0}
+        status, headers, doc = client.post("/submit", body)
+        if status == 429:
+            flood_hit_429 = True
+            retry_after = headers.get("Retry-After")
+            break
+        if status == 202:
+            admitted.append(doc["request_id"])
+    check(flood_hit_429, "flood past --queue-limit rejected (429)")
+    check(bool(retry_after), "429 carries a Retry-After hint")
+    for request_id in admitted:  # let the backlog clear before draining
+        client.wait_terminal(request_id)
+
+    # 5. Golden metric families.
+    status, headers, text = client.get("/metrics")
+    check(
+        status == 200 and headers.get("Content-Type", "").startswith("text/plain"),
+        "/metrics scrapes as text exposition",
+    )
+    for family, probe in GOLDEN_METRICS.items():
+        # Headers render from declaration, even before the first sample
+        # (histogram children share their family's header).
+        base = family[: -len("_bucket")] if family.endswith("_bucket") else family
+        present = f"# HELP {base} " in text
+        if probe is not None:
+            present = present and f"{family}{{" in text and probe in text
+        check(present, f"metric family {family} present with expected labels")
+    check("repro_serve_up 1" in text, "repro_serve_up is 1 while serving")
+
+    # 6. SIGTERM drain: in-flight work finishes, then a clean exit.  The
+    # guinea pig uses a key no earlier step touched, so it really runs.
+    status, _, pig = client.post("/submit", {"experiment": "fig10"})
+    check(status == 202, "drain guinea pig accepted (202)")
+    proc.send_signal(signal.SIGTERM)
+    status, _, _ = client.get("/readyz")
+    check(status == 503, "/readyz flips to 503 while draining")
+    status, _, _ = client.post("/submit", {"experiment": "fig3", "quick": False})
+    check(status == 503, "submissions bounce with 503 while draining")
+
+    rc = proc.wait(timeout=600)
+    stderr = proc.stderr.read()
+    check(rc == 0, f"service exits 0 after drain (got {rc})")
+    check(
+        "repro_serve_up 0" in stderr,
+        "final metrics snapshot reports repro_serve_up 0",
+    )
+    check(
+        "workers_alive=0" in stderr,
+        "drain line reports no surviving workers",
+    )
+    leftovers = orphan_workers(marker)
+    check(not leftovers, f"no orphaned worker processes (found {leftovers})")
+
+    print(f"serve_smoke: {len(FAILURES)} failure(s)")
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,23 +21,21 @@ assert that parallel and serial sweeps agree bit-for-bit.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import multiprocessing
 import os
 import tempfile
 import time
-import traceback
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from .. import __version__
 from ..apenet.config import DEFAULT_CONFIG
-from ..sim import kernel_event_count
 from ..sim.sched import resolve_backend
 from . import harness
+from .engine import ENGINE, pool_worker
 
 __all__ = [
     "RunRecord",
@@ -110,22 +108,26 @@ def _calibration_dict() -> dict:
     return _calibration_dict_memo
 
 
-def cache_key(experiment_id: str, quick: bool) -> str:
+def cache_key(experiment_id: str, quick: bool, backend: Optional[str] = None) -> str:
     """Content hash identifying one experiment execution.
 
     Covers the experiment id, the quick/full flag, every calibration
     constant of :data:`~repro.apenet.config.DEFAULT_CONFIG`, the active
-    kernel backend (``REPRO_BACKEND``), and the package version — any
-    change to model constants, backend selection or code version
-    invalidates all cached results.  (Backends are bit-identical by
-    contract, but the payload's telemetry — wall time, kernel bench data —
-    is backend-specific, so sharing entries would serve stale numbers.)
+    kernel backend, and the package version — any change to model
+    constants, backend selection or code version invalidates all cached
+    results.  (Backends are bit-identical by contract, but the payload's
+    telemetry — wall time, kernel bench data — is backend-specific, so
+    sharing entries would serve stale numbers.)
+
+    *backend* defaults to the process-wide selection (``REPRO_BACKEND``);
+    ``repro.serve`` passes the request's backend explicitly so one service
+    process can key cache entries for several backends.
     """
     ident = {
         "experiment": experiment_id,
         "quick": bool(quick),
         "calibration": _calibration_dict(),
-        "backend": resolve_backend(None),
+        "backend": resolve_backend(backend),
         "version": __version__,
     }
     blob = json.dumps(ident, sort_keys=True, separators=(",", ":"))
@@ -181,12 +183,24 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Store *payload* under *key* (atomic: tmp file + rename)."""
+        """Store *payload* under *key*, crash-safely.
+
+        The payload is written to a private temp file in the cache
+        directory, flushed and fsync'ed, then moved into place with the
+        atomic ``os.replace`` — so a reader can only ever observe either
+        the old complete entry or the new complete entry.  A writer killed
+        mid-``put`` (the serve worker supervisor does exactly this) leaves
+        at worst an orphaned ``*.tmp`` file, never a torn JSON that would
+        poison later ``get``\\ s; concurrent writers race benignly (last
+        rename wins, both payloads are identical by determinism).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path(key))
         except BaseException:
             try:
@@ -201,86 +215,10 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
-def _jsonable(obj):
-    """Recursively coerce an experiment ``data`` block to JSON-safe types.
-
-    Payloads cross a JSON boundary twice (the result cache and the
-    ``--json`` artifact), but experiments are free to stash richer
-    objects — dataclasses (e.g. figure ``Series``), tuples, sets — in
-    ``ExperimentResult.data``.  Dataclasses become dicts, tuples/sets
-    become lists, dict keys become strings, and anything else falls back
-    to ``repr`` rather than failing the whole sweep.
-    """
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return _jsonable(dataclasses.asdict(obj))
-    if isinstance(obj, dict):
-        return {str(k): _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        seq = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
-        return [_jsonable(v) for v in seq]
-    return repr(obj)
-
-
-def _execute(experiment_id: str, quick: bool, trace: bool = False) -> dict:
-    """Run one experiment in this process; always returns a payload dict.
-
-    With ``trace=True`` the experiment runs under a fresh
-    :class:`~repro.obs.TraceSession` and the payload gains a ``"trace"``
-    key (the session payload).  Tracing is observation-only, so the
-    comparison rows are identical either way; each experiment gets its own
-    session, so trace content is independent of worker scheduling.
-    """
-    session = None
-    session_cm = None
-    if trace:
-        from ..obs import TraceSession
-
-        session = TraceSession(label=experiment_id)
-        session_cm = session.activate()
-        session_cm.__enter__()
-    t0 = time.perf_counter()
-    ev0 = kernel_event_count()
-    try:
-        result = harness.run(experiment_id, quick=quick)
-    except (KeyboardInterrupt, SystemExit):
-        # Ctrl-C / interpreter shutdown must tear the sweep down, not be
-        # folded into an error payload.
-        raise
-    except Exception as exc:  # repro: noqa-SIM001 — sweep isolation boundary:
-        # one failing experiment becomes an "error" record instead of
-        # killing the other workers; the class, args and traceback are all
-        # preserved so nothing is swallowed.
-        return {
-            "experiment_id": experiment_id,
-            "error": traceback.format_exc(),
-            "error_class": type(exc).__name__,
-            "args": {"experiment_id": experiment_id, "quick": bool(quick)},
-            "wall_s": time.perf_counter() - t0,
-            "events": kernel_event_count() - ev0,
-        }
-    finally:
-        if session_cm is not None:
-            session_cm.__exit__(None, None, None)
-    payload = {
-        "experiment_id": experiment_id,
-        "title": result.title,
-        "rendered": result.rendered,
-        "comparisons": [list(row) for row in result.comparisons],
-        "wall_s": time.perf_counter() - t0,
-        "events": kernel_event_count() - ev0,
-        "data": _jsonable(getattr(result, "data", None)),
-    }
-    if session is not None:
-        payload["trace"] = session.payload()
-    return payload
-
-
-def _worker(args: tuple) -> dict:
-    """Pool entry point (module-level for picklability)."""
-    experiment_id, quick, trace = args
-    return _execute(experiment_id, quick, trace)
+# The execution core lives in repro.bench.engine (shared with repro.serve);
+# these aliases keep the runner's historical entry points stable.
+_execute = ENGINE.execute
+_worker = pool_worker
 
 
 def _pool_context():

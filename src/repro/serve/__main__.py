@@ -1,0 +1,145 @@
+"""CLI: ``python -m repro.serve [options]`` — run the simulation service.
+
+Boots the asyncio HTTP front end over one :class:`SimulationService` and
+serves until SIGTERM/SIGINT, then drains gracefully: admission stops
+(``repro_serve_up 0``, /readyz 503), in-flight executions finish, the
+final metrics snapshot is flushed to stderr, and the process exits 0.
+
+Options mirror :class:`~repro.serve.service.ServeConfig`:
+
+* ``--host``/``--port`` — bind address (``--port 0`` picks an ephemeral
+  port; the bound port is printed on the ``listening on`` line);
+* ``--workers N`` — concurrent supervised worker processes;
+* ``--queue-limit N`` — executions waiting for a slot before 429;
+* ``--deadline S`` — default per-request deadline (seconds);
+* ``--retry-limit N`` / ``--backoff-base S`` — crash-retry budget/backoff;
+* ``--cache-dir DIR`` / ``--no-cache`` — the shared result cache
+  (the same store ``python -m repro.bench`` reads and writes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from ..bench.runner import default_cache_dir
+from .http import HttpFrontend
+from .service import ServeConfig, SimulationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Always-on simulation service over the bench execution core.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 = ephemeral; see the 'listening on' line)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent supervised worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="max executions waiting for a worker before 429 (default: 16)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=300.0, metavar="S",
+        help="default per-request deadline in seconds (default: 300)",
+    )
+    parser.add_argument(
+        "--retry-limit", type=int, default=2, metavar="N",
+        help="crash retries per request before terminal failure (default: 2)",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.25, metavar="S",
+        help="base of the exponential crash-retry backoff (default: 0.25)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"shared result cache location (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="never read or write the on-disk result cache",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    """Translate parsed CLI arguments into a :class:`ServeConfig`."""
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+        retry_limit=args.retry_limit,
+        backoff_base_s=args.backoff_base,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+async def serve(config: ServeConfig) -> int:
+    """Run the service until a termination signal, then drain; returns 0."""
+    service = SimulationService(config)
+    frontend = HttpFrontend(service)
+    host, port = await frontend.start(config.host, config.port)
+    print(
+        f"repro.serve {_version()} listening on http://{host}:{port} "
+        f"(workers={config.workers}, queue_limit={config.queue_limit}, "
+        f"deadline={config.deadline_s:g}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, service.begin_drain)
+
+    await service.drained.wait()
+    # Drain order: in-flight work has landed; stop answering, then flush
+    # the final metrics snapshot (repro_serve_up is already 0 in it).
+    await frontend.stop()
+    print(service.metrics_text(), file=sys.stderr, flush=True)
+    import multiprocessing
+
+    leftover = multiprocessing.active_children()
+    print(
+        f"repro.serve drained: inflight=0 workers_alive={len(leftover)}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0 if not leftover else 1
+
+
+def _version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        build_parser().error(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_limit < 1:
+        build_parser().error(f"--queue-limit must be >= 1, got {args.queue_limit}")
+    if args.deadline <= 0:
+        build_parser().error(f"--deadline must be > 0, got {args.deadline}")
+    try:
+        return asyncio.run(serve(config_from_args(args)))
+    except KeyboardInterrupt:
+        # SIGINT before the handler was installed (startup window).
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""A tiny Prometheus text-format metrics registry (stdlib only).
+
+The service exports its operational state — queue depth, in-flight
+requests, cache hit rate, retries, worker restarts, simulated events per
+wall second — in the Prometheus exposition format (version 0.0.4) so any
+scraper can watch a long-running capacity-planning service the same way
+the paper's authors watched their cluster.  Modeled on the exporters in
+the related RDMA tooling, but dependency-free: three metric kinds
+(counter, gauge, histogram), label support, and a deterministic renderer.
+
+Determinism notes (the repo-wide discipline applies here too): metrics
+are declared once at registry construction, so ``render()`` always emits
+every ``# HELP``/``# TYPE`` header in declaration order even before the
+first sample — scrapers and the golden-name smoke test see a stable
+schema — and samples render sorted by label values, never in dict
+insertion order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry"]
+
+#: Submit-to-terminal latency buckets, in seconds: sub-50 ms cache hits
+#: through half-hour full-parameter sweeps.
+DEFAULT_BUCKETS = (0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0)
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus expects (no float noise)."""
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_blob(names: Sequence[str], values: Sequence[str]) -> str:
+    """``{a="x",b="y"}`` or '' when unlabelled."""
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Common machinery: a named family with labelled sample children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._samples: dict[tuple, float] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def value(self, **labels) -> float:
+        """Current value of one child (0.0 before the first touch)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._samples.get(key, 0.0)
+
+    def render(self) -> Iterable[str]:
+        """The ``# HELP``/``# TYPE`` header plus one line per child."""
+        yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.kind}"
+        with self._lock:
+            items = sorted(self._samples.items())
+        for key, value in items:
+            yield f"{self.name}{_labels_blob(self.labelnames, key)} {_fmt(value)}"
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add *amount* (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, in-flight, up/down)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled child to *value*."""
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add *amount* (may be negative) to the labelled child."""
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Subtract *amount* from the labelled child."""
+        self.inc(-amount, **labels)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (``_bucket``/``_sum``/``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        # per child: [bucket counts..., +Inf count], sum
+        self._hist: dict[tuple, tuple[list[int], float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation for the labelled child."""
+        key = self._key(labels)
+        with self._lock:
+            counts, total = self._hist.get(key, (None, 0.0))
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            counts[-1] += 1
+            self._hist[key] = (counts, total + value)
+
+    def child_count(self, **labels) -> int:
+        """Observation count of one child (0 before the first observe)."""
+        key = self._key(labels)
+        with self._lock:
+            counts, _total = self._hist.get(key, (None, 0.0))
+        return counts[-1] if counts else 0
+
+    def render(self) -> Iterable[str]:
+        yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.kind}"
+        with self._lock:
+            items = sorted(self._hist.items())
+        bucket_names = self.labelnames + ("le",)
+        for key, (counts, total) in items:
+            # counts[i] is already cumulative: observe() increments every
+            # bucket whose bound the value fits under.
+            for bound, count in zip(self.buckets, counts):
+                blob = _labels_blob(bucket_names, key + (_fmt(bound),))
+                yield f"{self.name}_bucket{blob} {count}"
+            blob = _labels_blob(bucket_names, key + ("+Inf",))
+            yield f"{self.name}_bucket{blob} {counts[-1]}"
+            yield f"{self.name}_sum{_labels_blob(self.labelnames, key)} {repr(total)}"
+            yield f"{self.name}_count{_labels_blob(self.labelnames, key)} {counts[-1]}"
+
+
+class Registry:
+    """Declaration-ordered collection of metrics with one text renderer."""
+
+    #: Content-Type for the /metrics endpoint.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self):
+        self._metrics: list[_Metric] = []
+        self._by_name: dict[str, _Metric] = {}
+
+    def _add(self, metric: _Metric) -> _Metric:
+        if metric.name in self._by_name:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics.append(metric)
+        self._by_name[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        """Declare and register a counter."""
+        return self._add(Counter(name, help, labelnames))
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        """Declare and register a gauge."""
+        return self._add(Gauge(name, help, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Declare and register a histogram."""
+        return self._add(Histogram(name, help, labelnames, buckets))
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """Look a metric up by family name."""
+        return self._by_name.get(name)
+
+    def render(self) -> str:
+        """The full exposition document, trailing newline included."""
+        lines: list[str] = []
+        for metric in self._metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

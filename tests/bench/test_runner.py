@@ -97,6 +97,48 @@ def test_cache_payload_missing_keys_is_a_miss(tmp_path, cheap_experiment):
     assert not records[0].cached
 
 
+def test_truncated_cache_file_is_a_miss(tmp_path, cheap_experiment):
+    """A torn write (e.g. power loss mid-flush) must read as a miss."""
+    run_experiments([cheap_experiment], cache_dir=tmp_path)
+    key = cache_key(cheap_experiment, quick=True)
+    path = ResultCache(tmp_path).path(key)
+    intact = path.read_text()
+    path.write_text(intact[: len(intact) // 2])  # torn mid-document
+    assert ResultCache(tmp_path).get(key) is None
+    rerun = run_experiments([cheap_experiment], cache_dir=tmp_path)
+    assert rerun[0].status == "ok" and not rerun[0].cached
+
+
+def test_empty_cache_file_is_a_miss_and_gets_overwritten(tmp_path, cheap_experiment):
+    key = cache_key(cheap_experiment, quick=True)
+    cache = ResultCache(tmp_path)
+    cache.path(key).parent.mkdir(parents=True, exist_ok=True)
+    cache.path(key).write_text("")  # zero-byte file (crash before any write)
+    assert cache.get(key) is None
+    run_experiments([cheap_experiment], cache_dir=tmp_path)
+    assert json.loads(cache.path(key).read_text())["experiment_id"] == cheap_experiment
+
+
+def test_cache_file_with_non_dict_json_is_a_miss(tmp_path, cheap_experiment):
+    key = cache_key(cheap_experiment, quick=True)
+    cache = ResultCache(tmp_path)
+    cache.path(key).parent.mkdir(parents=True, exist_ok=True)
+    for blob in ('["a", "list"]', '"just a string"', "42", "null"):
+        cache.path(key).write_text(blob)
+        assert cache.get(key) is None, blob
+
+
+def test_cache_put_is_atomic_no_tmp_debris(tmp_path, cheap_experiment):
+    """put() lands via tmp-file + os.replace: afterwards the directory
+    holds only complete entries, never partially written temporaries."""
+    key = cache_key(cheap_experiment, quick=True)
+    cache = ResultCache(tmp_path)
+    cache.put(key, {"experiment_id": cheap_experiment, "payload": "x" * 4096})
+    names = [p.name for p in tmp_path.rglob("*") if p.is_file()]
+    assert names == [cache.path(key).name]
+    assert ".tmp" not in "".join(names)
+
+
 def test_cache_key_distinguishes_experiment_and_mode():
     keys = {
         cache_key("fig3", quick=True),

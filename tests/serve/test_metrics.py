@@ -1,0 +1,81 @@
+"""Tests for the stdlib Prometheus registry behind /metrics."""
+
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, Registry
+
+
+def test_headers_render_before_first_sample():
+    r = Registry()
+    r.counter("t_total", "A counter.")
+    r.gauge("t_depth", "A gauge.")
+    text = r.render()
+    # Schema is stable from construction: HELP/TYPE appear with no samples.
+    assert "# HELP t_total A counter.\n# TYPE t_total counter" in text
+    assert "# HELP t_depth A gauge.\n# TYPE t_depth gauge" in text
+
+
+def test_declaration_order_is_render_order():
+    r = Registry()
+    for name in ("t_c", "t_a", "t_b"):
+        r.counter(name, "x")
+    lines = [l for l in r.render().splitlines() if l.startswith("# HELP")]
+    assert lines == ["# HELP t_c x", "# HELP t_a x", "# HELP t_b x"]
+
+
+def test_counter_labels_and_accumulation():
+    r = Registry()
+    c = r.counter("t_http_total", "By route/code.", ("route", "code"))
+    c.inc(route="submit", code="202")
+    c.inc(route="submit", code="202")
+    c.inc(route="metrics", code="200")
+    assert c.value(route="submit", code="202") == 2
+    text = r.render()
+    assert 't_http_total{route="submit",code="202"} 2' in text
+    assert 't_http_total{route="metrics",code="200"} 1' in text
+
+
+def test_counter_rejects_negative_and_wrong_labels():
+    r = Registry()
+    c = r.counter("t_total", "x", ("route",))
+    with pytest.raises(ValueError):
+        c.inc(-1, route="a")
+    with pytest.raises(ValueError):
+        c.inc(code="oops")  # wrong label set
+    with pytest.raises(ValueError):
+        r.counter("t_total", "duplicate family")
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("t_inflight", "x")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value() == 2
+
+
+def test_histogram_buckets_are_cumulative():
+    h = Histogram("t_lat", "x", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    text = "\n".join(h.render())
+    assert 't_lat_bucket{le="0.1"} 1' in text
+    assert 't_lat_bucket{le="1"} 3' in text
+    assert 't_lat_bucket{le="10"} 4' in text
+    assert 't_lat_bucket{le="+Inf"} 4' in text
+    assert "t_lat_count 4" in text
+    assert h.child_count() == 4
+
+
+def test_label_value_escaping():
+    c = Counter("t_total", "x", ("experiment",))
+    c.inc(experiment='fig"3\n\\x')
+    line = list(c.render())[-1]
+    assert line == 't_total{experiment="fig\\"3\\n\\\\x"} 1'
+
+
+def test_integer_values_render_without_float_noise():
+    g = Gauge("t_up", "x")
+    g.set(1.0)
+    text = "\n".join(g.render())
+    assert text.endswith("t_up 1")  # not "1.0"
